@@ -1,0 +1,105 @@
+// Ablation: what early termination buys (§2.3, §4.2.2).
+//
+// Without early termination, a safe f-resilient algorithm must always wait
+// the worst case of f + D_f(G,f) communication steps. AllConcur instead
+// terminates as soon as the tracking digraphs resolve. We measure actual
+// agreement latency in failure-free and crash rounds and compare with the
+// conservative worst-case model on the same fabric.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/flags.hpp"
+#include "common/rng.hpp"
+#include "core/logp_model.hpp"
+#include "graph/fault_diameter.hpp"
+#include "graph/gs_digraph.hpp"
+#include "graph/properties.hpp"
+#include "graph/reliability.hpp"
+
+using namespace allconcur;
+using namespace allconcur::bench;
+
+namespace {
+
+struct Measured {
+  double no_fail_us = 0;
+  double with_crash_us = 0;
+};
+
+Measured measure(std::size_t n, const sim::FabricParams& fabric) {
+  Measured out;
+  {
+    api::ClusterOptions opt;
+    opt.n = n;
+    opt.fabric = fabric;
+    api::SimCluster c(opt);
+    TimeNs last = 0;
+    c.on_deliver = [&](NodeId, const core::RoundResult&, TimeNs t) {
+      last = std::max(last, t);
+    };
+    c.broadcast_all_now();
+    c.run_until_round_done(0, sec(10));
+    out.no_fail_us = to_us(last);
+  }
+  {
+    api::ClusterOptions opt;
+    opt.n = n;
+    opt.fabric = fabric;
+    opt.detection_delay = us(100);  // isolate the algorithmic depth
+    api::SimCluster c(opt);
+    TimeNs last = 0;
+    c.on_deliver = [&](NodeId, const core::RoundResult&, TimeNs t) {
+      last = std::max(last, t);
+    };
+    c.crash_after_sends(static_cast<NodeId>(n / 2), 0, 1);
+    c.broadcast_all_now();
+    c.run_until_round_done(0, sec(10));
+    out.with_crash_us = to_us(last);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto fabric = sim::FabricParams::tcp_ib();
+  const core::LogP logp{static_cast<double>(fabric.latency),
+                        static_cast<double>(fabric.overhead)};
+  Rng rng(7);
+
+  print_title("Ablation: early termination vs f + D_f worst-case waiting");
+  row("%6s %4s %4s %6s %12s %14s %12s %16s %9s", "n", "d", "D", "δ̂_f",
+      "no-fail[us]", "1 crash[us]", "hops[us]", "conserv.[us]", "saving");
+  for (const auto n : flags.get_int_list("sizes", {8, 16, 32, 64})) {
+    const std::size_t d = graph::paper_gs_degree(static_cast<std::size_t>(n));
+    const auto g = graph::make_gs_digraph(static_cast<std::size_t>(n), d);
+    const auto diam = graph::diameter(g).value_or(0);
+    const std::size_t f = d - 1;
+    const auto delta_hat =
+        n <= 16 ? graph::fault_diameter_bound(g, f)
+                : graph::fault_diameter_bound_sampled(g, f, 300, rng);
+    const auto m = measure(static_cast<std::size_t>(n), fabric);
+    // A safe algorithm without message tracking must always assume the
+    // worst case (§2.2.1): f + D_f steps, and in an asynchronous system
+    // each step can only be closed out by a conservative timeout of at
+    // least the failure-detection period (100 ms here, the Fig. 7
+    // setting). Early termination replaces that with the actual message
+    // flow. The LogP hop bound is shown for reference.
+    const double kDetectMs = 100.0;
+    const std::size_t steps = f + delta_hat.value_or(diam + 2);
+    const double conservative_us = static_cast<double>(steps) * kDetectMs * 1e3;
+    const double logp_hops_us =
+        core::worst_case_depth_ns(f, delta_hat.value_or(diam + 2), d, logp) /
+        1e3;
+    row("%6lld %4zu %4zu %6zu %12.1f %14.1f %12.1f %16.1f %9.0fx",
+        static_cast<long long>(n), d, diam, delta_hat.value_or(0),
+        m.no_fail_us, m.with_crash_us, logp_hops_us, conservative_us,
+        m.no_fail_us > 0 ? conservative_us / m.no_fail_us : 0.0);
+  }
+  print_note("early termination delivers failure-free rounds at depth ~D "
+             "and crash rounds at the detection delay plus a few hops — "
+             "not at the f + D_f worst case the lower bound forces on "
+             "non-tracking algorithms.");
+  return 0;
+}

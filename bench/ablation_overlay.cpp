@@ -1,0 +1,91 @@
+// Ablation: the overlay choice (§4.4). Same workload, same fabric, four
+// overlays — GS(n,d), binomial graph, hypercube, complete digraph —
+// comparing agreement latency, per-server message load and the
+// reliability each overlay's connectivity buys.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/flags.hpp"
+#include "graph/binomial_graph.hpp"
+#include "graph/gs_digraph.hpp"
+#include "graph/properties.hpp"
+#include "graph/reliability.hpp"
+
+using namespace allconcur;
+using namespace allconcur::bench;
+
+namespace {
+
+struct OverlayResult {
+  std::size_t degree;
+  std::size_t diameter;
+  double latency_us;
+  double msgs_per_server;
+  double nines;
+};
+
+OverlayResult run_overlay(const std::string&, core::GraphBuilder builder,
+                          std::size_t n) {
+  api::ClusterOptions opt;
+  opt.n = n;
+  opt.builder = std::move(builder);
+  opt.fabric = sim::FabricParams::tcp_ib();
+  api::SimCluster c(opt);
+  TimeNs last = 0;
+  c.on_deliver = [&](NodeId, const core::RoundResult&, TimeNs t) {
+    last = std::max(last, t);
+  };
+  for (NodeId id : c.live_nodes()) c.submit_opaque(id, 64);
+  c.broadcast_all_now();
+  c.run_until_round_done(0, sec(10));
+
+  OverlayResult out{};
+  const auto& g = c.engine(0).view().overlay();
+  out.degree = g.degree();
+  out.diameter = graph::diameter(g).value_or(0);
+  out.latency_us = to_us(last);
+  const auto stats = c.aggregate_stats();
+  // Sends are charged synchronously, so this captures the full work of the
+  // round including relays still in flight when agreement is reached.
+  out.msgs_per_server = static_cast<double>(stats.bcast_sent) /
+                        static_cast<double>(n);
+  out.nines = graph::system_reliability_nines(n, out.degree,
+                                              graph::FailureModel{});
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::size_t n =
+      static_cast<std::size_t>(flags.get_int("n", 64));
+
+  print_title("Ablation: overlay digraph choice at n = " + std::to_string(n));
+  row("%12s %4s %4s %14s %16s %8s", "overlay", "d", "D", "latency[us]",
+      "sent/server", "nines");
+
+  const std::size_t d = graph::paper_gs_degree(n);
+  const struct {
+    const char* name;
+    core::GraphBuilder builder;
+  } overlays[] = {
+      {"GS(n,d)",
+       [d](std::size_t m) { return graph::make_gs_digraph(m, d); }},
+      {"binomial",
+       [](std::size_t m) { return graph::make_binomial_graph(m); }},
+      {"hypercube",
+       [](std::size_t m) { return graph::make_hypercube(m); }},
+      {"complete",
+       [](std::size_t m) { return graph::make_complete(m); }},
+  };
+  for (const auto& o : overlays) {
+    const auto r = run_overlay(o.name, o.builder, n);
+    row("%12s %4zu %4zu %14.1f %16.1f %8.2f", o.name, r.degree, r.diameter,
+        r.latency_us, r.msgs_per_server, r.nines);
+  }
+  print_note("GS hits the reliability target with the smallest degree; "
+             "binomial/hypercube overshoot connectivity (extra work); "
+             "complete minimizes depth but pays O(n^2) sends per round.");
+  return 0;
+}

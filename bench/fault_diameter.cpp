@@ -1,0 +1,66 @@
+// Reproduces §4.2.3: fault-diameter estimation via the min-sum disjoint
+// paths heuristic — including the paper's worked example (binomial graph,
+// n=12: 3 <= δ_f <= 4) — and the bound δ̂_f for the Table 3 GS digraphs
+// ("low fault diameter bounds, experimentally verified").
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/flags.hpp"
+#include "common/rng.hpp"
+#include "graph/binomial_graph.hpp"
+#include "graph/fault_diameter.hpp"
+#include "graph/gs_digraph.hpp"
+#include "graph/properties.hpp"
+#include "graph/reliability.hpp"
+
+using namespace allconcur;
+using namespace allconcur::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+
+  print_title("§4.2.3 worked example: binomial graph n=12, paths p0 -> p3");
+  {
+    const auto g = graph::make_binomial_graph(12);
+    const auto dp = graph::min_sum_disjoint_paths(g, 0, 3, 6);
+    if (dp) {
+      row("  six vertex-disjoint paths, min-sum: avg %.2f edges, max %zu",
+          dp->avg_length, dp->max_length);
+      for (const auto& path : dp->paths) {
+        std::printf("    ");
+        for (std::size_t i = 0; i < path.size(); ++i) {
+          std::printf("p%u%s", path[i], i + 1 < path.size() ? " -> " : "\n");
+        }
+      }
+      row("  paper: 3 <= δ_f <= 4 (one path has length four)");
+    }
+    const auto exact = graph::fault_diameter_exact(g, 5);
+    row("  exact D_f(G,5) by enumeration: %zu", exact.value_or(0));
+  }
+
+  print_title("GS(n,d) fault-diameter bounds (f = d-1, min-sum heuristic)");
+  row("%6s %4s %4s %10s %14s", "n", "d", "D", "δ̂_{d-1}", "pairs checked");
+  Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 42)));
+  for (const auto& rowspec : graph::paper_table3()) {
+    if (rowspec.n > static_cast<std::size_t>(flags.get_int("max-n", 128))) {
+      continue;
+    }
+    const auto g = graph::make_gs_digraph(rowspec.n, rowspec.d);
+    const auto diam = graph::diameter(g).value_or(0);
+    const std::size_t f = rowspec.d - 1;
+    std::optional<std::size_t> bound;
+    std::size_t pairs;
+    if (rowspec.n <= 32) {
+      bound = graph::fault_diameter_bound(g, f);
+      pairs = rowspec.n * (rowspec.n - 1);
+    } else {
+      pairs = 500;
+      bound = graph::fault_diameter_bound_sampled(g, f, pairs, rng);
+    }
+    row("%6zu %4zu %4zu %10zu %14zu", rowspec.n, rowspec.d, diam,
+        bound.value_or(0), pairs);
+  }
+  print_note("expect δ̂ within ~2 of D — the early-termination depth "
+             "stays close to the failure-free diameter.");
+  return 0;
+}

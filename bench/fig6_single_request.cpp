@@ -1,0 +1,67 @@
+// Reproduces Fig. 6: agreement latency for a single 64-byte request as a
+// function of system size, for AllConcur-IBV (Fig. 6a) and AllConcur-TCP
+// (Fig. 6b), next to the paper's LogP work and depth model curves.
+//
+// One server A-broadcasts the request; everyone else answers with empty
+// messages (not the intended use case — it isolates the latency paths).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/flags.hpp"
+#include "core/logp_model.hpp"
+#include "graph/gs_digraph.hpp"
+#include "graph/properties.hpp"
+#include "graph/reliability.hpp"
+
+using namespace allconcur;
+using namespace allconcur::bench;
+
+namespace {
+
+void run_series(const char* name, const sim::FabricParams& fabric,
+                const std::vector<std::int64_t>& sizes) {
+  print_title(std::string("Fig. 6 (") + name +
+              "): single 64-byte request agreement latency");
+  row("%6s %4s %4s %14s %14s %14s %14s", "n", "d", "D", "median[us]",
+      "p95[us]", "work model", "depth model");
+  const core::LogP logp{static_cast<double>(fabric.latency),
+                        static_cast<double>(fabric.overhead)};
+  for (std::int64_t n_signed : sizes) {
+    const std::size_t n = static_cast<std::size_t>(n_signed);
+    const std::size_t d = graph::paper_gs_degree(n);
+    const auto g = graph::make_gs_digraph(n, d);
+    const auto diam = graph::diameter(g).value_or(0);
+
+    api::ClusterOptions opt;
+    opt.n = n;
+    opt.fabric = fabric;
+    api::SimCluster cluster(opt);
+    Summary latency;
+    cluster.on_deliver = [&](NodeId, const core::RoundResult&, TimeNs t) {
+      latency.add(to_us(t));
+    };
+    cluster.submit(0, core::Request::of_data(std::vector<std::uint8_t>(64)));
+    cluster.broadcast_now(0);  // everyone else reacts with empty messages
+    if (!cluster.run_until_round_done(0, sec(10))) {
+      row("%6zu  did not complete", n);
+      continue;
+    }
+    row("%6zu %4zu %4zu %14.2f %14.2f %14.2f %14.2f", n, d, diam,
+        latency.median(), latency.quantile(0.95),
+        core::logp_work_bound_ns(n, d, logp) / 1e3,
+        core::logp_depth_ns(d, diam, logp) / 1e3);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto sizes =
+      flags.get_int_list("sizes", {6, 8, 11, 16, 22, 32, 45, 64, 90});
+  run_series("IBV, IB-hsw", sim::FabricParams::infiniband(), sizes);
+  run_series("TCP, IB-hsw", sim::FabricParams::tcp_ib(), sizes);
+  print_note("paper shape: latency tracks the depth model at small n and "
+             "bends toward the work model as n grows; TCP ~3-10x IBV.");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces Fig. 9b: distributed exchanges — agreement latency as a
+// function of the system-wide (40-byte) request rate, for n from 8 to 512
+// (1024 with --full), on the XC40 TCP fabric.
+//
+// Paper anchors: 8 servers handle 100M req/s below 90 us; 512 servers
+// handle 1M req/s below 20 ms; at 1024 the 11x GS redundancy for 6-nines
+// costs ~4x latency.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/flags.hpp"
+
+using namespace allconcur;
+using namespace allconcur::bench;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  std::vector<std::int64_t> sizes = flags.get_int_list("sizes", {8, 32, 128});
+  if (flags.get_bool("full", false)) {
+    sizes.push_back(512);
+    sizes.push_back(1024);
+  }
+  const auto rates = flags.get_int_list(
+      "rates", {10000, 100000, 1000000, 10000000, 100000000});
+
+  print_title("Fig. 9b: latency vs system-wide request rate (40B, XC40 TCP)");
+  std::printf("%14s", "rate[/s]");
+  for (auto n : sizes) std::printf(" %9s%-4lld", "n=", (long long)n);
+  std::printf("\n");
+  for (auto rate : rates) {
+    std::printf("%14lld", static_cast<long long>(rate));
+    for (auto n : sizes) {
+      const double per_server =
+          static_cast<double>(rate) / static_cast<double>(n);
+      const std::size_t warmup = n >= 512 ? 2u : 5u;
+      const std::size_t measured = n >= 512 ? 4u : 15u;
+      const auto r = run_allconcur_rate(static_cast<std::size_t>(n),
+                                        sim::FabricParams::tcp_xc40(), 40,
+                                        per_server, warmup, measured,
+                                        /*deadline=*/sec(5));
+      if (r.unstable) {
+        std::printf(" %13s", "unstable");
+      } else {
+        std::printf(" %11.1fus", r.latency_us.median());
+      }
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  print_note("expect: small n flat in the ~100us range up to 100M/s; large "
+             "n in the ms range, rising with rate (Fig. 9b shape).");
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Distributed exchange (§1.1 scenario 3): a limit order book replicated
+// over geographically distributed servers. Fairness comes from the
+// leaderless design: no client is privileged by co-location with a
+// coordinator, because there is none — orders submitted at any server
+// enter the same agreed sequence.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "api/allconcur.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+using namespace allconcur;
+
+namespace {
+
+// A tiny price-time-priority matching engine, applied identically at every
+// server from the agreed order stream.
+class OrderBook {
+ public:
+  // Order payload: [side u8][price u32][qty u32][owner u32] padded to 40B.
+  static core::Request order(bool buy, std::uint32_t price, std::uint32_t qty,
+                             std::uint32_t owner) {
+    std::vector<std::uint8_t> bytes(40, 0);
+    bytes[0] = buy ? 1 : 0;
+    std::memcpy(bytes.data() + 1, &price, 4);
+    std::memcpy(bytes.data() + 5, &qty, 4);
+    std::memcpy(bytes.data() + 9, &owner, 4);
+    return core::Request::of_data(std::move(bytes));
+  }
+
+  void apply(const std::vector<std::uint8_t>& bytes) {
+    if (bytes.size() != 40) return;
+    const bool buy = bytes[0] != 0;
+    std::uint32_t price, qty, owner;
+    std::memcpy(&price, bytes.data() + 1, 4);
+    std::memcpy(&qty, bytes.data() + 5, 4);
+    std::memcpy(&owner, bytes.data() + 9, 4);
+    if (buy) {
+      match(asks_, price, qty, /*buy_side=*/true);
+      if (qty > 0) bids_[price] += qty;
+    } else {
+      match(bids_, price, qty, /*buy_side=*/false);
+      if (qty > 0) asks_[price] += qty;
+    }
+  }
+
+  std::uint64_t fingerprint() const {
+    std::uint64_t h = 1469598103934665603ull;
+    for (const auto& [p, q] : bids_) h = (h ^ p ^ (q << 1)) * 1099511628211ull;
+    for (const auto& [p, q] : asks_) h = (h ^ p ^ (q << 3)) * 1099511628211ull;
+    return h ^ trades_;
+  }
+
+  std::uint64_t trades() const { return trades_; }
+
+ private:
+  void match(std::map<std::uint32_t, std::uint32_t>& book,
+             std::uint32_t price, std::uint32_t& qty, bool buy_side) {
+    while (qty > 0 && !book.empty()) {
+      // Buys match the lowest ask <= price; sells the highest bid >= price.
+      auto it = buy_side ? book.begin() : std::prev(book.end());
+      if (buy_side ? it->first > price : it->first < price) break;
+      const std::uint32_t traded = std::min(qty, it->second);
+      qty -= traded;
+      it->second -= traded;
+      ++trades_;
+      if (it->second == 0) book.erase(it);
+    }
+  }
+
+  std::map<std::uint32_t, std::uint32_t> bids_, asks_;
+  std::uint64_t trades_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kServers = 8;
+  constexpr int kRounds = 20;
+
+  api::ClusterOptions options;
+  options.n = kServers;
+  options.fabric = sim::FabricParams::tcp_xc40();
+  api::SimCluster cluster(options);
+
+  std::vector<OrderBook> books(kServers);
+  std::vector<std::uint64_t> orders_per_server(kServers, 0);
+  Summary latency_us;
+
+  cluster.on_deliver = [&](NodeId who, const core::RoundResult& r, TimeNs t) {
+    for (const auto& d : r.deliveries) {
+      const auto batch = core::unpack_batch(d.payload);
+      if (!batch) continue;
+      for (const auto& req : *batch) books[who].apply(req.data);
+    }
+    if (who == 0) {
+      const auto started = cluster.broadcast_time(0, r.round);
+      if (started) latency_us.add(to_us(t - *started));
+    }
+  };
+
+  // A globally constant order flow, spread evenly across the servers —
+  // every client sees the same median latency regardless of where it
+  // connects (the fairness property §1.1 motivates).
+  Rng rng(99);
+  for (int round = 0; round < kRounds; ++round) {
+    for (NodeId s = 0; s < kServers; ++s) {
+      for (int k = 0; k < 4; ++k) {
+        const bool buy = rng.next_below(2) == 0;
+        const auto price = static_cast<std::uint32_t>(95 + rng.next_below(11));
+        const auto qty = static_cast<std::uint32_t>(1 + rng.next_below(50));
+        cluster.submit(s, OrderBook::order(buy, price, qty, 100 * s + k));
+        ++orders_per_server[s];
+      }
+    }
+    cluster.broadcast_all_now();
+    cluster.run_until_round_done(static_cast<Round>(round), sec(1));
+  }
+
+  bool consistent = true;
+  for (NodeId s = 1; s < kServers; ++s) {
+    consistent &= (books[s].fingerprint() == books[0].fingerprint());
+  }
+
+  std::printf("distributed exchange demo: %zu servers, %d rounds\n", kServers,
+              kRounds);
+  std::printf("  orders entered per server: %llu (even spread = fairness)\n",
+              static_cast<unsigned long long>(orders_per_server[0]));
+  std::printf("  trades matched: %llu (identical on every server)\n",
+              static_cast<unsigned long long>(books[0].trades()));
+  std::printf("  order books consistent: %s\n", consistent ? "YES" : "NO");
+  std::printf("  median agreement latency: %.1f us\n", latency_us.median());
+  return consistent ? 0 : 1;
+}

@@ -1,0 +1,128 @@
+// Multiplayer video game (§1.1 scenario 2): a shared world updated every
+// 50 ms frame; each player's actions are 40-byte updates agreed via atomic
+// broadcast, so every game server simulates the identical world without
+// ever shipping the (large) world state itself.
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "api/allconcur.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+using namespace allconcur;
+
+namespace {
+
+// Deterministic mini game world: player positions on a 2-D map.
+struct World {
+  struct Pos {
+    std::int32_t x = 0, y = 0;
+  };
+  std::vector<Pos> players;
+
+  explicit World(std::size_t n) : players(n) {}
+
+  // Action payload: [player u32][dx i32][dy i32] + padding to 40 bytes
+  // (the paper's typical update size).
+  static core::Request move(std::uint32_t player, std::int32_t dx,
+                            std::int32_t dy) {
+    std::vector<std::uint8_t> bytes(40, 0);
+    std::memcpy(bytes.data(), &player, 4);
+    std::memcpy(bytes.data() + 4, &dx, 4);
+    std::memcpy(bytes.data() + 8, &dy, 4);
+    return core::Request::of_data(std::move(bytes));
+  }
+
+  void apply(const std::vector<std::uint8_t>& bytes) {
+    if (bytes.size() != 40) return;
+    std::uint32_t player;
+    std::int32_t dx, dy;
+    std::memcpy(&player, bytes.data(), 4);
+    std::memcpy(&dx, bytes.data() + 4, 4);
+    std::memcpy(&dy, bytes.data() + 8, 4);
+    if (player >= players.size()) return;
+    players[player].x += dx;
+    players[player].y += dy;
+  }
+
+  std::uint64_t fingerprint() const {
+    std::uint64_t h = 14695981039346656037ull;
+    for (const auto& p : players) {
+      h = (h ^ static_cast<std::uint32_t>(p.x)) * 1099511628211ull;
+      h = (h ^ static_cast<std::uint32_t>(p.y)) * 1099511628211ull;
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kPlayers = 64;  // one server per player
+  constexpr int kFrames = 10;
+  const DurationNs kFrame = ms(50);  // 20 frames per second
+
+  api::ClusterOptions options;
+  options.n = kPlayers;
+  options.fabric = sim::FabricParams::tcp_xc40();
+  api::SimCluster cluster(options);
+
+  std::vector<World> worlds(kPlayers, World(kPlayers));
+  Summary frame_latency_ms;
+  std::size_t frames_within_budget = 0;
+
+  cluster.on_deliver = [&](NodeId who, const core::RoundResult& r, TimeNs t) {
+    for (const auto& d : r.deliveries) {
+      const auto batch = core::unpack_batch(d.payload);
+      if (!batch) continue;
+      for (const auto& req : *batch) worlds[who].apply(req.data);
+    }
+    if (who == 0) {
+      const auto started = cluster.broadcast_time(0, r.round);
+      if (started) {
+        const double lat_ms = to_ms(t - *started);
+        frame_latency_ms.add(lat_ms);
+        if (lat_ms < to_ms(kFrame)) ++frames_within_budget;
+      }
+    }
+  };
+
+  // Each frame: every player performs ~0..2 actions (≈200-400 APM ⇒ far
+  // fewer than one action per frame; we exaggerate for a livelier demo),
+  // then the frame's actions are agreed.
+  Rng rng(7);
+  for (int frame = 0; frame < kFrames; ++frame) {
+    const TimeNs at = static_cast<TimeNs>(frame) * kFrame;
+    for (NodeId p = 0; p < kPlayers; ++p) {
+      const std::size_t actions = rng.next_below(3);
+      for (std::size_t a = 0; a < actions; ++a) {
+        cluster.submit(p, World::move(p,
+                                      static_cast<std::int32_t>(
+                                          rng.next_below(5)) - 2,
+                                      static_cast<std::int32_t>(
+                                          rng.next_below(5)) - 2));
+      }
+      cluster.sim().schedule_at(at, [&cluster, p] {
+        cluster.engine(p).broadcast_now();
+      });
+    }
+    cluster.run_for(kFrame);
+  }
+  cluster.run_for(sec(1));
+
+  bool consistent = true;
+  for (NodeId p = 1; p < kPlayers; ++p) {
+    consistent &= (worlds[p].fingerprint() == worlds[0].fingerprint());
+  }
+
+  std::printf("multiplayer game demo: %zu players, %d frames @ 20 fps\n",
+              kPlayers, kFrames);
+  std::printf("  world state fingerprints identical: %s\n",
+              consistent ? "YES" : "NO");
+  std::printf("  median frame agreement latency: %.2f ms (budget 50 ms)\n",
+              frame_latency_ms.median());
+  std::printf("  frames within budget: %zu / %zu\n", frames_within_budget,
+              frame_latency_ms.count());
+  return consistent ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// Quickstart: 8 servers agree on a stream of requests with AllConcur.
+//
+//   $ ./quickstart
+//
+// Demonstrates the core API surface: build a cluster, submit requests,
+// observe totally-ordered deliveries, survive a server crash.
+#include <cstdio>
+#include <string>
+
+#include "api/allconcur.hpp"
+
+using namespace allconcur;
+
+int main() {
+  // 8 servers over GS(8,3) (Table 3 of the paper), TCP-like fabric.
+  api::ClusterOptions options;
+  options.n = 8;
+  options.fabric = sim::FabricParams::tcp_ib();
+  options.detection_delay = ms(1);
+  api::SimCluster cluster(options);
+
+  // Every delivery callback sees the same requests in the same order on
+  // every server — that is the atomic broadcast guarantee.
+  cluster.on_deliver = [](NodeId who, const core::RoundResult& r, TimeNs t) {
+    if (who != 0) return;  // print one server's view; all views are equal
+    std::printf("[%7.1f us] round %llu delivered (n=%zu):", to_us(t),
+                static_cast<unsigned long long>(r.round), r.view_size);
+    for (const auto& d : r.deliveries) {
+      const auto batch = core::unpack_batch(d.payload);
+      if (batch && !batch->empty()) {
+        for (const auto& req : *batch) {
+          std::printf(" [p%u: %s]", d.origin,
+                      std::string(req.data.begin(), req.data.end()).c_str());
+        }
+      }
+    }
+    if (!r.removed.empty()) {
+      std::printf("  -- removed:");
+      for (NodeId x : r.removed) std::printf(" p%u", x);
+    }
+    std::printf("\n");
+  };
+
+  // Round 0: three servers have something to say; the others contribute
+  // empty messages automatically.
+  const auto say = [&](NodeId who, const std::string& text) {
+    cluster.submit(who, core::Request::of_data(
+                            {text.begin(), text.end()}));
+  };
+  say(1, "reserve seat 12A");
+  say(5, "reserve seat 12A");  // the conflict is resolved identically everywhere
+  say(7, "reserve seat 30C");
+  cluster.broadcast_all_now();
+  cluster.run_until_round_done(0, sec(1));
+
+  // Round 1: server 3 crashes mid-round; agreement still completes.
+  cluster.crash_at(3, cluster.sim().now() + us(1));
+  say(2, "reserve seat 14F");
+  cluster.broadcast_all_now();
+  cluster.run_until_round_done(1, sec(1));
+
+  // Round 2 runs on the shrunk membership.
+  say(6, "cancel seat 30C");
+  cluster.broadcast_all_now();
+  cluster.run_until_round_done(2, sec(1));
+
+  std::printf("\nall servers observed identical delivery order; "
+              "p3's crash cost one round of membership reconfiguration.\n");
+  return 0;
+}

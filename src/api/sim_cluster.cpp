@@ -1,0 +1,331 @@
+#include "api/sim_cluster.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace allconcur::api {
+
+using core::Engine;
+using core::HeartbeatFd;
+using core::Message;
+using core::MsgType;
+using core::RoundResult;
+using core::View;
+
+SimCluster::SimCluster(ClusterOptions options)
+    : options_(std::move(options)),
+      model_(options_.fabric, options_.n + options_.max_joins),
+      next_join_id_(static_cast<NodeId>(options_.n)) {
+  ALLCONCUR_ASSERT(options_.n >= 1, "cluster needs at least one node");
+  nodes_.resize(options_.n + options_.max_joins);
+
+  std::vector<NodeId> members(options_.n);
+  for (std::size_t i = 0; i < options_.n; ++i) {
+    members[i] = static_cast<NodeId>(i);
+  }
+  for (std::size_t i = 0; i < options_.n; ++i) {
+    create_node(static_cast<NodeId>(i), View(members, options_.builder),
+                /*start_round=*/0);
+    nodes_[i]->active = true;
+  }
+  for (std::size_t i = 0; i < options_.n; ++i) {
+    wire_fd(static_cast<NodeId>(i));
+  }
+}
+
+SimCluster::~SimCluster() = default;
+
+void SimCluster::create_node(NodeId id, View view, Round start_round) {
+  ALLCONCUR_ASSERT(id < nodes_.size(), "node id beyond reserved slots");
+  ALLCONCUR_ASSERT(!nodes_[id], "node already exists");
+  auto node = std::make_unique<Node>();
+  Engine::Hooks hooks;
+  hooks.send = [this, id](NodeId dst, const Message& m) {
+    handle_send(id, dst, m);
+  };
+  hooks.deliver = [this, id](const RoundResult& r) { handle_delivery(id, r); };
+  Engine::Options eopts;
+  eopts.fd_mode = options_.fd_mode;
+  node->engine = std::make_unique<Engine>(id, std::move(view),
+                                          options_.builder, hooks, eopts,
+                                          start_round);
+  nodes_[id] = std::move(node);
+}
+
+void SimCluster::wire_fd(NodeId id) {
+  if (!options_.heartbeat_fd) return;
+  Node& node = *nodes_[id];
+  HeartbeatFd::Hooks hooks;
+  hooks.send = [this, id](NodeId dst, const Message& m) {
+    handle_send(id, dst, m);
+  };
+  hooks.suspect = [this, id](NodeId suspect) {
+    Node& n = *nodes_[id];
+    if (!n.crashed && n.active) n.engine->on_suspect(suspect);
+  };
+  node.fd = std::make_unique<HeartbeatFd>(id, options_.fd_params, hooks);
+  node.fd->set_peers(node.engine->view().successors_of(id),
+                     node.engine->view().predecessors_of(id), sim_.now());
+  schedule_fd_tick(id);
+}
+
+void SimCluster::schedule_fd_tick(NodeId id) {
+  sim_.schedule(options_.fd_params.period, [this, id] {
+    Node& node = *nodes_[id];
+    if (node.crashed || !node.fd) return;  // dead: heartbeats stop
+    if (node.active) node.fd->tick(sim_.now());
+    schedule_fd_tick(id);
+  });
+}
+
+core::Engine& SimCluster::engine(NodeId id) {
+  ALLCONCUR_ASSERT(exists(id), "no such node");
+  return *nodes_[id]->engine;
+}
+
+bool SimCluster::exists(NodeId id) const {
+  return id < nodes_.size() && nodes_[id] != nullptr;
+}
+
+bool SimCluster::alive(NodeId id) const {
+  return exists(id) && !nodes_[id]->crashed && nodes_[id]->active;
+}
+
+std::vector<NodeId> SimCluster::live_nodes() const {
+  std::vector<NodeId> out;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (alive(id)) out.push_back(id);
+  }
+  return out;
+}
+
+void SimCluster::submit(NodeId id, core::Request request) {
+  engine(id).submit(std::move(request));
+}
+
+void SimCluster::submit_opaque(NodeId id, std::size_t bytes) {
+  engine(id).submit_opaque(bytes);
+}
+
+void SimCluster::broadcast_now(NodeId id) {
+  if (!alive(id)) return;
+  sim_.schedule(0, [this, id] {
+    if (alive(id)) nodes_[id]->engine->broadcast_now();
+  });
+}
+
+void SimCluster::broadcast_all_now() {
+  for (NodeId id : live_nodes()) broadcast_now(id);
+}
+
+std::optional<TimeNs> SimCluster::broadcast_time(NodeId id,
+                                                 Round round) const {
+  if (!exists(id)) return std::nullopt;
+  const auto& times = nodes_[id]->bcast_times;
+  const auto it = times.find(round);
+  if (it == times.end()) return std::nullopt;
+  return it->second;
+}
+
+void SimCluster::handle_send(NodeId src, NodeId dst, const Message& msg) {
+  Node& sender = *nodes_[src];
+  if (sender.crashed) {
+    if (!sender.send_limited || sender.sends_left == 0) return;
+    --sender.sends_left;
+  }
+  if (link_filter_ && link_filter_(src, dst)) return;  // partitioned link
+  // Record the instant a node A-broadcasts its own message (used by the
+  // latency harnesses as the round start at that node).
+  if (msg.type == MsgType::kBroadcast && msg.origin == src) {
+    sender.bcast_times.emplace(msg.round, sim_.now());
+  }
+
+  const TimeNs done = model_.sender_done(src, dst, msg.wire_size(), sim_.now());
+  const TimeNs arrive = model_.arrival(done);
+  sim_.schedule_at(arrive, [this, src, dst, msg] {
+    const TimeNs handed =
+        model_.receiver_done(dst, msg.wire_size(), sim_.now());
+    sim_.schedule_at(handed, [this, src, dst, msg] {
+      Node* node = nodes_[dst].get();
+      if (!node || node->crashed) return;
+      if (!node->active) {
+        node->preactivation.emplace_back(src, msg);
+        return;
+      }
+      if (node->fd) node->fd->on_heartbeat(src, sim_.now());
+      if (msg.type != MsgType::kHeartbeat) node->engine->on_message(src, msg);
+    });
+  });
+}
+
+void SimCluster::handle_delivery(NodeId id, const RoundResult& result) {
+  Node& node = *nodes_[id];
+  // Membership changed: reconfigure the FD and activate any joiners.
+  if (!result.joined.empty() || !result.removed.empty()) {
+    if (node.fd && !node.engine->departed()) {
+      node.fd->set_peers(node.engine->view().successors_of(id),
+                         node.engine->view().predecessors_of(id), sim_.now());
+    }
+    // The rebuilt overlay may hand this node *new* predecessors that are
+    // long dead but still members (their last message was delivered).
+    // A real FD keeps timing out on them (§3.2: successors detect the
+    // lack of heartbeats, per the *current* G); the oracle must do the
+    // same or their tracking digraphs never resolve.
+    if (!options_.heartbeat_fd && !node.engine->departed()) {
+      reinject_oracle_suspicions(id);
+    }
+    for (NodeId joiner : result.joined) {
+      if (!nodes_[joiner]) {
+        // First commit observation anywhere in the cluster instantiates
+        // the joiner with the new view, starting at the next round.
+        create_node(joiner,
+                    View(node.engine->view().members(), options_.builder),
+                    result.round + 1);
+        wire_fd(joiner);
+      }
+      if (!nodes_[joiner]->active) activate_node(joiner);
+    }
+  }
+  if (options_.auto_heal && !result.removed.empty() &&
+      next_join_id_ < nodes_.size()) {
+    // Exactly one sponsor acts per round: the lowest live id. The joins
+    // ride in its next broadcast and commit through ordinary agreement.
+    const auto live = live_nodes();
+    if (!live.empty() && id == live.front()) {
+      for (std::size_t i = 0;
+           i < result.removed.size() && next_join_id_ < nodes_.size(); ++i) {
+        schedule_join(sim_.now(), id);
+      }
+    }
+  }
+  if (on_deliver) on_deliver(id, result, sim_.now());
+}
+
+void SimCluster::reinject_oracle_suspicions(NodeId id) {
+  for (NodeId pred : nodes_[id]->engine->view().predecessors_of(id)) {
+    if (exists(pred) && nodes_[pred]->crashed) {
+      sim_.schedule(options_.detection_delay, [this, id, pred] {
+        if (alive(id)) nodes_[id]->engine->on_suspect(pred);
+      });
+    }
+  }
+}
+
+void SimCluster::activate_node(NodeId id) {
+  Node& node = *nodes_[id];
+  node.active = true;
+  // Replay traffic that arrived while dormant, then participate in the
+  // current round (the others cannot finish it without our message).
+  const auto buffered = std::move(node.preactivation);
+  node.preactivation.clear();
+  for (const auto& [src, msg] : buffered) {
+    if (node.fd) node.fd->on_heartbeat(src, sim_.now());
+    if (msg.type != MsgType::kHeartbeat) node.engine->on_message(src, msg);
+  }
+  // A joiner may inherit dead-but-member predecessors (see
+  // reinject_oracle_suspicions).
+  if (!options_.heartbeat_fd) reinject_oracle_suspicions(id);
+  node.engine->broadcast_now();
+}
+
+void SimCluster::crash_at(NodeId id, TimeNs when) {
+  crash_after_sends(id, when, 0);
+}
+
+void SimCluster::crash_after_sends(NodeId id, TimeNs when,
+                                   std::size_t more_sends) {
+  sim_.schedule_at(when, [this, id, more_sends] {
+    Node& node = *nodes_[id];
+    node.crashed = true;
+    node.send_limited = true;
+    node.sends_left = more_sends;
+    if (options_.heartbeat_fd) return;  // detection via missing heartbeats
+    // Perfect oracle: live successors learn of the crash after the
+    // configured detection delay.
+    sim_.schedule(options_.detection_delay, [this, id] {
+      for (NodeId other = 0; other < nodes_.size(); ++other) {
+        if (other == id || !alive(other)) continue;
+        Engine& e = *nodes_[other]->engine;
+        if (!e.view().contains(id)) continue;
+        const auto preds = e.view().predecessors_of(other);
+        if (std::find(preds.begin(), preds.end(), id) != preds.end()) {
+          e.on_suspect(id);
+        }
+      }
+    });
+  });
+}
+
+void SimCluster::set_link_filter(
+    std::function<bool(NodeId, NodeId)> drop) {
+  link_filter_ = std::move(drop);
+}
+
+void SimCluster::partition_at(std::vector<NodeId> group, TimeNs when,
+                              TimeNs heal_at) {
+  sim_.schedule_at(when, [this, group = std::move(group)] {
+    set_link_filter([group](NodeId src, NodeId dst) {
+      const bool src_in =
+          std::find(group.begin(), group.end(), src) != group.end();
+      const bool dst_in =
+          std::find(group.begin(), group.end(), dst) != group.end();
+      return src_in != dst_in;
+    });
+  });
+  if (heal_at != kTimeNever) {
+    sim_.schedule_at(heal_at, [this] { set_link_filter(nullptr); });
+  }
+}
+
+NodeId SimCluster::schedule_join(TimeNs when, NodeId sponsor) {
+  ALLCONCUR_ASSERT(next_join_id_ < nodes_.size(),
+                   "join capacity exhausted; raise ClusterOptions::max_joins");
+  const NodeId id = next_join_id_++;
+  sim_.schedule_at(when, [this, id, sponsor] {
+    if (alive(sponsor)) {
+      nodes_[sponsor]->engine->submit(core::Request::join(id));
+    }
+  });
+  return id;
+}
+
+bool SimCluster::run_until_round_done(Round r, TimeNs deadline) {
+  const DurationNs chunk = ms(1);
+  for (;;) {
+    bool done = true;
+    for (NodeId id : live_nodes()) {
+      if (nodes_[id]->engine->current_round() <= r) {
+        done = false;
+        break;
+      }
+    }
+    if (done) return true;
+    if (sim_.now() >= deadline) return false;
+    if (sim_.idle()) return false;
+    sim_.run_until(std::min(deadline, sim_.now() + chunk));
+  }
+}
+
+core::EngineStats SimCluster::aggregate_stats() const {
+  core::EngineStats total;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (!exists(id)) continue;
+    const auto& s = nodes_[id]->engine->stats();
+    total.bcast_sent += s.bcast_sent;
+    total.bcast_received += s.bcast_received;
+    total.fail_sent += s.fail_sent;
+    total.fail_received += s.fail_received;
+    total.fwd_bwd_sent += s.fwd_bwd_sent;
+    total.fwd_bwd_received += s.fwd_bwd_received;
+    total.bytes_sent += s.bytes_sent;
+    total.dropped_stale += s.dropped_stale;
+    total.dropped_suspected += s.dropped_suspected;
+    total.dropped_foreign += s.dropped_foreign;
+    total.dropped_lost += s.dropped_lost;
+    total.rounds_completed += s.rounds_completed;
+  }
+  return total;
+}
+
+}  // namespace allconcur::api

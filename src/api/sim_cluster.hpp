@@ -1,0 +1,139 @@
+// SimCluster: a complete AllConcur deployment on the discrete-event
+// simulator — n protocol engines, the LogGP fabric model, failure
+// injection (fail-stop, optionally mid-broadcast), perfect-oracle or
+// heartbeat failure detection, and dynamic membership.
+//
+// This is the primary public entry point for users experimenting with
+// AllConcur in-process, and the substrate all benchmark harnesses run on.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/failure_detector.hpp"
+#include "sim/network_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace allconcur::api {
+
+struct ClusterOptions {
+  std::size_t n = 8;
+  core::GraphBuilder builder = core::make_default_graph_builder();
+  sim::FabricParams fabric = sim::FabricParams::tcp_ib();
+  core::FdMode fd_mode = core::FdMode::kPerfect;
+
+  /// false: a perfect oracle notifies live successors `detection_delay`
+  /// after a crash (the paper's evaluation setup: "all the experiments
+  /// assume a perfect FD"). true: real heartbeat traffic through the
+  /// simulated fabric with the Δhb/Δto below (the Fig. 7 setup).
+  bool heartbeat_fd = false;
+  core::HeartbeatFd::Params fd_params;
+  DurationNs detection_delay = ms(100);
+
+  /// Extra engine slots reserved for joins (ids n, n+1, ...).
+  std::size_t max_joins = 16;
+
+  /// §4.2.2 deployment note: when a round removes failed servers, the
+  /// lowest-id live node automatically sponsors one standby join per
+  /// removal, restoring the membership size (bounded by max_joins).
+  bool auto_heal = false;
+
+  std::uint64_t seed = 1;
+};
+
+class SimCluster {
+ public:
+  explicit SimCluster(ClusterOptions options);
+  ~SimCluster();
+
+  sim::Simulator& sim() { return sim_; }
+  const ClusterOptions& options() const { return options_; }
+
+  /// Engine access; id must identify a created (initial or joined) node.
+  core::Engine& engine(NodeId id);
+  bool exists(NodeId id) const;
+  bool alive(NodeId id) const;
+  std::size_t initial_size() const { return options_.n; }
+
+  /// Ids of live, activated nodes.
+  std::vector<NodeId> live_nodes() const;
+
+  // ---- Load ----
+  void submit(NodeId id, core::Request request);
+  void submit_opaque(NodeId id, std::size_t bytes);
+  /// Schedules a broadcast at the current simulation time.
+  void broadcast_now(NodeId id);
+  void broadcast_all_now();
+
+  // ---- Observation ----
+  /// Called on every round delivery: (observer, result, sim time).
+  std::function<void(NodeId, const core::RoundResult&, TimeNs)> on_deliver;
+
+  /// Time at which `id` A-broadcast its round-`round` message
+  /// (nullopt if it has not).
+  std::optional<TimeNs> broadcast_time(NodeId id, Round round) const;
+
+  // ---- Failures & membership ----
+  /// Fail-stop at `when`: stops sending and receiving.
+  void crash_at(NodeId id, TimeNs when);
+  /// Fail-stop at `when`, but the next `more_sends` outgoing messages
+  /// still leave (models dying mid-broadcast, §2.3).
+  void crash_after_sends(NodeId id, TimeNs when, std::size_t more_sends);
+  /// At `when`, `sponsor` submits a join request for a fresh node id
+  /// (returned immediately); the node activates once the join commits.
+  NodeId schedule_join(TimeNs when, NodeId sponsor);
+
+  /// Link-level fault injection (§3.3.1: partitions remove edges, not
+  /// vertices): messages for which `drop(src, dst)` returns true are lost.
+  /// Pass nullptr to heal. With the heartbeat FD enabled, suspicions arise
+  /// naturally from the silence — no oracle involved.
+  void set_link_filter(std::function<bool(NodeId, NodeId)> drop);
+
+  /// Convenience: fully separates `group` from everyone else at `when`,
+  /// healing at `heal_at` (kTimeNever = never).
+  void partition_at(std::vector<NodeId> group, TimeNs when,
+                    TimeNs heal_at = kTimeNever);
+
+  // ---- Running ----
+  void run_for(DurationNs d) { sim_.run_until(sim_.now() + d); }
+  /// Runs until every live node completed round `r` (current_round > r) or
+  /// the deadline passes; returns true on success.
+  bool run_until_round_done(Round r, TimeNs deadline);
+
+  /// Aggregate engine statistics over live nodes.
+  core::EngineStats aggregate_stats() const;
+
+ private:
+  struct Node {
+    std::unique_ptr<core::Engine> engine;
+    std::unique_ptr<core::HeartbeatFd> fd;
+    bool active = false;   // joiners stay dormant until their join commits
+    bool crashed = false;
+    bool send_limited = false;
+    std::size_t sends_left = 0;
+    std::vector<std::pair<NodeId, core::Message>> preactivation;
+    std::map<Round, TimeNs> bcast_times;
+  };
+
+  std::function<bool(NodeId, NodeId)> link_filter_;
+
+  void create_node(NodeId id, core::View view, Round start_round);
+  void reinject_oracle_suspicions(NodeId id);
+  void activate_node(NodeId id);
+  void wire_fd(NodeId id);
+  void handle_send(NodeId src, NodeId dst, const core::Message& msg);
+  void handle_delivery(NodeId id, const core::RoundResult& result);
+  void schedule_fd_tick(NodeId id);
+
+  ClusterOptions options_;
+  sim::Simulator sim_;
+  sim::NetworkModel model_;
+  std::vector<std::unique_ptr<Node>> nodes_;  // indexed by NodeId
+  NodeId next_join_id_;
+};
+
+}  // namespace allconcur::api

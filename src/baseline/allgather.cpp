@@ -1,0 +1,141 @@
+#include "baseline/allgather.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace allconcur::baseline {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 24;  // same framing as the protocol
+
+struct Block {
+  std::size_t round;
+  NodeId origin;
+  // Recursive doubling aggregates several origins into one message; the
+  // byte charge is origins.size() * block_bytes.
+  std::vector<NodeId> origins;
+};
+
+// Shared harness state for one allgather run.
+class Run {
+ public:
+  Run(const AllgatherParams& p, const sim::FabricParams& fabric)
+      : params_(p), model_(fabric, p.n) {}
+
+  AllgatherResult execute() {
+    have_.assign(params_.n, {});
+    node_round_.assign(params_.n, 0);
+    finish_last_ = 0;
+    for (NodeId i = 0; i < params_.n; ++i) start_round(i, 0);
+    sim_.run_to_completion();
+    AllgatherResult result;
+    result.total_time = finish_last_;
+    result.avg_round_ns =
+        static_cast<double>(finish_last_) / static_cast<double>(params_.rounds);
+    const double bits =
+        8.0 * static_cast<double>(params_.n) *
+        static_cast<double>(params_.block_bytes);
+    result.agreement_gbps = bits / result.avg_round_ns;  // Gbit/s (ns base)
+    return result;
+  }
+
+ private:
+  void send(NodeId src, NodeId dst, Block b, std::size_t bytes) {
+    const TimeNs done = model_.sender_done(src, dst, bytes, sim_.now());
+    sim_.schedule_at(model_.arrival(done), [this, dst, b, bytes] {
+      const TimeNs handed = model_.receiver_done(dst, bytes, sim_.now());
+      sim_.schedule_at(handed, [this, dst, b] { receive(dst, b); });
+    });
+  }
+
+  void start_round(NodeId i, std::size_t round) {
+    node_round_[i] = round;
+    have_[i].clear();
+    Block own{round, i, {i}};
+    receive(i, own);  // a node trivially "has" its own block
+  }
+
+  void receive(NodeId i, const Block& b) {
+    if (b.round > node_round_[i]) {
+      pending_[i].push_back(b);  // neighbour runs one round ahead
+      return;
+    }
+    if (b.round < node_round_[i]) return;  // stale duplicate (rec-doubling)
+    bool fresh = false;
+    for (NodeId o : b.origins) {
+      if (!have_[i].count(o)) {
+        have_[i].insert(o);
+        fresh = true;
+      }
+    }
+    if (!fresh) return;
+    forward(i, b);
+    if (have_[i].size() == params_.n) round_done(i);
+  }
+
+  void forward(NodeId i, const Block& b) {
+    if (params_.algo == AllgatherAlgo::kRing) {
+      // Pipelined ring: pass each single-origin block to the successor
+      // until it would return home.
+      const NodeId next = static_cast<NodeId>((i + 1) % params_.n);
+      if (next != b.origins.front()) {
+        send(i, next, b, kHeaderBytes + params_.block_bytes);
+      }
+    } else {
+      // Recursive doubling (Bruck-style for any n): at step k, node i
+      // exchanges everything gathered so far with i ± 2^k. We emulate it
+      // by sending the accumulated set whenever it doubles.
+      const std::size_t count = have_[i].size();
+      if ((count & (count - 1)) == 0 || count == params_.n) {
+        const std::size_t step = step_of(count);
+        const NodeId peer = static_cast<NodeId>(
+            (i + (std::size_t{1} << step)) % params_.n);
+        Block agg{node_round_[i], i, {have_[i].begin(), have_[i].end()}};
+        send(i, peer, agg,
+             kHeaderBytes + params_.block_bytes * agg.origins.size());
+      }
+    }
+  }
+
+  static std::size_t step_of(std::size_t count) {
+    return count <= 1 ? 0 : floor_log2(count);
+  }
+
+  void round_done(NodeId i) {
+    finish_last_ = std::max(finish_last_, sim_.now());
+    const std::size_t next_round = node_round_[i] + 1;
+    if (next_round >= params_.rounds) return;
+    start_round(i, next_round);
+    // Replay blocks that arrived early for this round.
+    auto it = pending_.find(i);
+    if (it != pending_.end()) {
+      auto blocks = std::move(it->second);
+      pending_.erase(it);
+      for (const Block& b : blocks) receive(i, b);
+    }
+  }
+
+  AllgatherParams params_;
+  sim::Simulator sim_;
+  sim::NetworkModel model_;
+  std::vector<std::set<NodeId>> have_;
+  std::vector<std::size_t> node_round_;
+  std::map<NodeId, std::vector<Block>> pending_;
+  TimeNs finish_last_ = 0;
+};
+
+}  // namespace
+
+AllgatherResult run_allgather(const AllgatherParams& params,
+                              const sim::FabricParams& fabric) {
+  ALLCONCUR_ASSERT(params.n >= 2, "allgather needs at least 2 nodes");
+  Run run(params, fabric);
+  return run.execute();
+}
+
+}  // namespace allconcur::baseline

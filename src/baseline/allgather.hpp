@@ -1,0 +1,42 @@
+// Unreliable agreement baseline (§5, Fig. 10a): MPI_Allgather-style
+// dissemination over the same simulated fabric AllConcur runs on.
+//
+// Open MPI's allgather over TCP uses a pipelined ring for large payloads
+// (each node forwards one block per step to its ring successor) and a
+// Bruck/recursive-doubling exchange for small ones; both are implemented
+// here. Neither tolerates failures — that is the point of the comparison:
+// the gap between Fig. 10a and Fig. 10b is AllConcur's cost of fault
+// tolerance (the paper measures an average overhead of 58%).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sim/network_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace allconcur::baseline {
+
+enum class AllgatherAlgo { kRing, kRecursiveDoubling };
+
+struct AllgatherParams {
+  std::size_t n = 8;
+  std::size_t block_bytes = 1024;  ///< per-node contribution per round
+  std::size_t rounds = 5;          ///< back-to-back rounds (steady state)
+  AllgatherAlgo algo = AllgatherAlgo::kRing;
+};
+
+struct AllgatherResult {
+  TimeNs total_time = 0;          ///< until the last node finished round R
+  double avg_round_ns = 0.0;      ///< total / rounds
+  double agreement_gbps = 0.0;    ///< n*block_bytes per round, in Gbit/s
+};
+
+/// Runs `rounds` consecutive allgathers; every node starts round r+1 as
+/// soon as it completed round r (nodes may skew by up to one round, as in
+/// a real pipelined collective).
+AllgatherResult run_allgather(const AllgatherParams& params,
+                              const sim::FabricParams& fabric);
+
+}  // namespace allconcur::baseline

@@ -1,0 +1,146 @@
+#include "baseline/leader_based.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace allconcur::baseline {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 24;
+constexpr std::size_t kAckBytes = kHeaderBytes;  // acks carry no payload
+
+// Node layout: servers 0..n-1; replicas n..n+g-1 (leader = n).
+class Run {
+ public:
+  Run(const LeaderBasedParams& p, const sim::FabricParams& fabric)
+      : params_(p), model_(fabric, p.n + p.group_size) {}
+
+  LeaderBasedResult execute() {
+    learned_.assign(params_.n, {});
+    server_round_.assign(params_.n, 0);
+    acks_.clear();
+    for (NodeId s = 0; s < params_.n; ++s) submit_batch(s, 0);
+    sim_.run_to_completion();
+    LeaderBasedResult result;
+    result.total_time = finish_last_;
+    result.avg_round_ns =
+        static_cast<double>(finish_last_) / static_cast<double>(params_.rounds);
+    result.agreement_gbps = 8.0 * static_cast<double>(params_.n) *
+                            static_cast<double>(params_.batch_bytes) /
+                            result.avg_round_ns;
+    result.leader_messages = leader_msgs_;
+    result.server_messages = params_.rounds * (1 + params_.n);  // 1 out, n in
+    return result;
+  }
+
+ private:
+  NodeId leader() const { return static_cast<NodeId>(params_.n); }
+
+  struct Decree {
+    std::size_t round;
+    NodeId server;
+  };
+
+  void send(NodeId src, NodeId dst, std::size_t bytes,
+            std::function<void()> on_delivered) {
+    const TimeNs done = model_.sender_done(src, dst, bytes, sim_.now());
+    sim_.schedule_at(model_.arrival(done), [this, dst, bytes,
+                                            fn = std::move(on_delivered)] {
+      const TimeNs handed = model_.receiver_done(dst, bytes, sim_.now());
+      sim_.schedule_at(handed, std::move(fn));
+    });
+  }
+
+  void submit_batch(NodeId s, std::size_t round) {
+    server_round_[s] = round;
+    send(s, leader(), kHeaderBytes + params_.batch_bytes,
+         [this, s, round] { on_leader_receive({round, s}); });
+  }
+
+  void on_leader_receive(Decree d) {
+    ++leader_msgs_;
+    // The consensus engine handles decrees serially, modeled as a busy
+    // CPU resource with a fixed plus per-byte cost.
+    const DurationNs cost =
+        params_.decree_cpu_fixed +
+        static_cast<DurationNs>(params_.decree_cpu_ns_per_byte *
+                                static_cast<double>(params_.batch_bytes));
+    const TimeNs start = std::max(sim_.now(), leader_cpu_free_);
+    leader_cpu_free_ = start + cost;
+    sim_.schedule_at(leader_cpu_free_, [this, d] { replicate(d); });
+  }
+
+  void replicate(Decree d) {
+    // Phase-2 accept to the other replicas; each answers with an ack.
+    const auto key = std::make_pair(d.round, d.server);
+    acks_[key] = 0;
+    for (std::size_t r = 1; r < params_.group_size; ++r) {
+      const NodeId replica = static_cast<NodeId>(params_.n + r);
+      ++leader_msgs_;
+      send(leader(), replica, kHeaderBytes + params_.batch_bytes,
+           [this, d, replica] {
+             send(replica, leader(), kAckBytes, [this, d] { on_ack(d); });
+           });
+    }
+  }
+
+  void on_ack(Decree d) {
+    ++leader_msgs_;
+    const auto key = std::make_pair(d.round, d.server);
+    const std::size_t majority_acks = params_.group_size / 2;  // + leader
+    if (++acks_[key] != majority_acks) return;
+    // Chosen: disseminate to all n servers (the learn phase).
+    for (NodeId s = 0; s < params_.n; ++s) {
+      ++leader_msgs_;
+      send(leader(), s, kHeaderBytes + params_.batch_bytes,
+           [this, s, d] { on_learn(s, d); });
+    }
+  }
+
+  void on_learn(NodeId s, Decree d) {
+    // Faster servers may already be a round ahead; their decrees arrive
+    // before s advanced, so learns are counted per round.
+    ++learned_[s][d.round];
+    maybe_finish_round(s);
+  }
+
+  void maybe_finish_round(NodeId s) {
+    const std::size_t r = server_round_[s];
+    const auto it = learned_[s].find(r);
+    if (it == learned_[s].end() || it->second != params_.n) return;
+    finish_last_ = std::max(finish_last_, sim_.now());
+    learned_[s].erase(it);
+    const std::size_t next = r + 1;
+    if (next < params_.rounds) {
+      submit_batch(s, next);
+      maybe_finish_round(s);  // a full next-round set may be buffered
+    }
+  }
+
+  LeaderBasedParams params_;
+  sim::Simulator sim_;
+  sim::NetworkModel model_;
+  std::vector<std::map<std::size_t, std::size_t>> learned_;
+  std::vector<std::size_t> server_round_;
+  std::map<std::pair<std::size_t, NodeId>, std::size_t> acks_;
+  TimeNs leader_cpu_free_ = 0;
+  TimeNs finish_last_ = 0;
+  std::uint64_t leader_msgs_ = 0;
+};
+
+}  // namespace
+
+LeaderBasedResult run_leader_based(const LeaderBasedParams& params,
+                                   const sim::FabricParams& fabric) {
+  ALLCONCUR_ASSERT(params.n >= 1, "need at least one server");
+  ALLCONCUR_ASSERT(params.group_size >= 3 && params.group_size % 2 == 1,
+                   "replication group must be odd and >= 3");
+  Run run(params, fabric);
+  return run.execute();
+}
+
+}  // namespace allconcur::baseline

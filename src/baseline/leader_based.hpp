@@ -1,0 +1,47 @@
+// Leader-based atomic broadcast baseline (§4.5, Fig. 10c) — the deployment
+// the paper compares against with Libpaxos: n servers send their batches
+// to the leader of a small replication group; the leader replicates each
+// batch within the group (one Paxos decree, majority acknowledgement) and
+// then disseminates it to all n servers.
+//
+// The structural costs are exactly §4.5's: the leader does O(n^2) work per
+// round (receives n batches, sends each to n servers plus the replicas),
+// while every other server does O(n). On top of the byte/overhead costs of
+// the shared fabric model, the leader charges `decree_cpu` per decree —
+// the serialization cost of a single-threaded consensus engine, calibrated
+// so that absolute throughput lands in Libpaxos3's published range (see
+// EXPERIMENTS.md).
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.hpp"
+#include "sim/network_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace allconcur::baseline {
+
+struct LeaderBasedParams {
+  std::size_t n = 8;              ///< agreeing servers (Paxos clients/learners)
+  std::size_t group_size = 5;     ///< replicas including the leader (paper: 5)
+  std::size_t batch_bytes = 1024; ///< per server per round
+  std::size_t rounds = 5;
+  /// Leader consensus-engine cost per decree: fixed dispatch plus value
+  /// copying/checksumming, calibrated to Libpaxos3 (single-threaded,
+  /// ~65 MB/s effective value processing).
+  DurationNs decree_cpu_fixed = us(150);
+  double decree_cpu_ns_per_byte = 15.0;
+};
+
+struct LeaderBasedResult {
+  TimeNs total_time = 0;
+  double avg_round_ns = 0.0;
+  double agreement_gbps = 0.0;  ///< n*batch_bytes per round, Gbit/s
+  std::uint64_t leader_messages = 0;  ///< O(n^2) evidence
+  std::uint64_t server_messages = 0;  ///< per non-leader server
+};
+
+LeaderBasedResult run_leader_based(const LeaderBasedParams& params,
+                                   const sim::FabricParams& fabric);
+
+}  // namespace allconcur::baseline

@@ -1,0 +1,15 @@
+// Assertion macro that stays on in release builds: protocol invariants are
+// cheap relative to message handling and silent corruption is far worse.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define ALLCONCUR_ASSERT(cond, msg)                                       \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "ALLCONCUR_ASSERT failed at %s:%d: %s — %s\n", \
+                   __FILE__, __LINE__, #cond, msg);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)

@@ -1,0 +1,70 @@
+#include "common/flags.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace allconcur {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::get(const std::string& name, const std::string& def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Flags::get_double(const std::string& name, double def) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::get_bool(const std::string& name, bool def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::int64_t> Flags::get_int_list(
+    const std::string& name, const std::vector<std::int64_t>& def) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  std::vector<std::int64_t> out;
+  const std::string& s = it->second;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const auto comma = s.find(',', pos);
+    const std::string tok =
+        s.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!tok.empty()) out.push_back(std::strtoll(tok.c_str(), nullptr, 10));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace allconcur

@@ -1,0 +1,38 @@
+// Minimal command-line flag parsing for the benchmark/example executables.
+//
+// Syntax: --name=value or --name value; bare --name sets a bool flag.
+// Unknown flags abort with a usage message so typos never silently run the
+// default experiment.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace allconcur {
+
+class Flags {
+ public:
+  /// Parses argv; aborts with a message on malformed input.
+  Flags(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+
+  std::string get(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+  /// Comma-separated list of integers, e.g. --sizes=8,16,32.
+  std::vector<std::int64_t> get_int_list(
+      const std::string& name, const std::vector<std::int64_t>& def) const;
+
+  /// Names seen on the command line (for unknown-flag checking by callers).
+  const std::map<std::string, std::string>& all() const { return values_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace allconcur

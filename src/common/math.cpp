@@ -1,0 +1,65 @@
+#include "common/math.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace allconcur {
+
+double log_choose(std::uint64_t n, std::uint64_t k) {
+  ALLCONCUR_ASSERT(k <= n, "log_choose requires k <= n");
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p) {
+  ALLCONCUR_ASSERT(p >= 0.0 && p <= 1.0, "p must be a probability");
+  if (k > n) return 0.0;
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  const double lp = log_choose(n, k) + static_cast<double>(k) * std::log(p) +
+                    static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(lp);
+}
+
+double binomial_tail_geq(std::uint64_t n, std::uint64_t k, double p) {
+  if (k == 0) return 1.0;
+  if (k > n) return 0.0;
+  // For the reliability regime (n*p << k) the tail is dominated by the
+  // first term; sum upward until terms vanish.
+  double total = 0.0;
+  for (std::uint64_t i = k; i <= n; ++i) {
+    const double term = binomial_pmf(n, i, p);
+    total += term;
+    if (term < total * 1e-18 && i > k + 4) break;
+  }
+  return total > 1.0 ? 1.0 : total;
+}
+
+double binomial_cdf_lt(std::uint64_t n, std::uint64_t k, double p) {
+  return 1.0 - binomial_tail_geq(n, k, p);
+}
+
+double failure_probability(double delta, double mttf) {
+  ALLCONCUR_ASSERT(mttf > 0.0, "MTTF must be positive");
+  ALLCONCUR_ASSERT(delta >= 0.0, "interval must be non-negative");
+  return 1.0 - std::exp(-delta / mttf);
+}
+
+double nines(double reliability) {
+  ALLCONCUR_ASSERT(reliability >= 0.0 && reliability <= 1.0,
+                   "reliability must be a probability");
+  const double complement = 1.0 - reliability;
+  if (complement <= 1e-20) return 20.0;
+  return -std::log10(complement);
+}
+
+std::uint32_t floor_log2(std::uint64_t x) {
+  ALLCONCUR_ASSERT(x >= 1, "floor_log2 requires x >= 1");
+  std::uint32_t r = 0;
+  while (x >>= 1) ++r;
+  return r;
+}
+
+}  // namespace allconcur

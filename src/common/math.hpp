@@ -1,0 +1,35 @@
+// Numerics for the reliability analysis (§4.2.2, §4.4 of the paper).
+//
+// Reliability targets like 6-nines require evaluating binomial tails of
+// order 1e-12 for n up to 2^15; everything is computed in log space.
+#pragma once
+
+#include <cstdint>
+
+namespace allconcur {
+
+/// ln C(n, k). Exact via lgamma; valid for 0 <= k <= n.
+double log_choose(std::uint64_t n, std::uint64_t k);
+
+/// P[X = k] for X ~ Binomial(n, p).
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p);
+
+/// P[X >= k] for X ~ Binomial(n, p). Summed from the small tail side.
+double binomial_tail_geq(std::uint64_t n, std::uint64_t k, double p);
+
+/// P[X < k] = 1 - P[X >= k]; the paper's reliability sum
+/// ρ_G = Σ_{i=0}^{k-1} C(n,i) p^i (1-p)^{n-i}.
+double binomial_cdf_lt(std::uint64_t n, std::uint64_t k, double p);
+
+/// Probability that a server fails within Δ given an exponential lifetime
+/// with the given MTTF (same units): p_f = 1 - e^{-Δ/MTTF}.
+double failure_probability(double delta, double mttf);
+
+/// Express a reliability r as "number of nines": -log10(1 - r).
+/// Saturates at 20 nines for r == 1.
+double nines(double reliability);
+
+/// floor(log2(x)) for x >= 1.
+std::uint32_t floor_log2(std::uint64_t x);
+
+}  // namespace allconcur

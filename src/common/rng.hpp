@@ -1,0 +1,41 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic behaviour in the repository (failure injection, workload
+// inter-arrival times, network jitter) flows through Rng so that every
+// experiment is reproducible from a single 64-bit seed.
+#pragma once
+
+#include <cstdint>
+
+namespace allconcur {
+
+/// xoshiro256++ seeded via splitmix64. Fast, high quality, and — unlike
+/// std::mt19937 — guaranteed to produce identical streams on every
+/// platform/standard-library combination.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double next_exponential(double mean);
+
+  /// Normally distributed (Box–Muller) value.
+  double next_normal(double mean, double stddev);
+
+  /// Derive an independent child generator (for per-node streams).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace allconcur

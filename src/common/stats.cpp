@@ -1,0 +1,84 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace allconcur {
+
+void Summary::add(double sample) { samples_.push_back(sample); }
+
+void Summary::add_all(const std::vector<double>& samples) {
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+}
+
+std::vector<double> Summary::sorted() const {
+  std::vector<double> s = samples_;
+  std::sort(s.begin(), s.end());
+  return s;
+}
+
+double Summary::min() const {
+  ALLCONCUR_ASSERT(!samples_.empty(), "min of empty summary");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  ALLCONCUR_ASSERT(!samples_.empty(), "max of empty summary");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::mean() const {
+  ALLCONCUR_ASSERT(!samples_.empty(), "mean of empty summary");
+  double sum = 0.0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::quantile(double q) const {
+  ALLCONCUR_ASSERT(!samples_.empty(), "quantile of empty summary");
+  ALLCONCUR_ASSERT(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  const std::vector<double> s = sorted();
+  if (s.size() == 1) return s[0];
+  const double pos = q * static_cast<double>(s.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, s.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+MedianCi Summary::median_ci95() const {
+  ALLCONCUR_ASSERT(!samples_.empty(), "median_ci95 of empty summary");
+  const std::vector<double> s = sorted();
+  MedianCi out;
+  out.n = s.size();
+  out.median = quantile(0.5);
+  const double n = static_cast<double>(s.size());
+  if (s.size() < 6) {
+    // Too few samples for a meaningful order-statistic CI: report range.
+    out.lo = s.front();
+    out.hi = s.back();
+    return out;
+  }
+  // Normal approximation of the binomial order-statistic ranks
+  // (Hoefler & Belli, SC'15): ranks n/2 ∓ 1.96·sqrt(n)/2.
+  const double half_width = 1.959964 * std::sqrt(n) * 0.5;
+  long lo_rank = static_cast<long>(std::floor(n / 2.0 - half_width)) - 1;
+  long hi_rank = static_cast<long>(std::ceil(n / 2.0 + half_width));
+  lo_rank = std::max(lo_rank, 0L);
+  hi_rank = std::min(hi_rank, static_cast<long>(s.size()) - 1);
+  out.lo = s[static_cast<std::size_t>(lo_rank)];
+  out.hi = s[static_cast<std::size_t>(hi_rank)];
+  return out;
+}
+
+}  // namespace allconcur

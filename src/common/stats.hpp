@@ -1,0 +1,49 @@
+// Summary statistics used by the benchmark harness.
+//
+// The paper reports "the median and the 95% nonparametric confidence
+// interval around it" (Hoefler & Belli, SC'15, rule 7); Summary implements
+// exactly that: order-statistic based CI ranks from the binomial
+// distribution, no normality assumption.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace allconcur {
+
+struct MedianCi {
+  double median = 0.0;
+  double lo = 0.0;    ///< lower bound of the 95% CI around the median
+  double hi = 0.0;    ///< upper bound of the 95% CI around the median
+  std::size_t n = 0;  ///< sample count
+};
+
+/// Accumulates samples; all queries are O(n log n) on demand.
+class Summary {
+ public:
+  void add(double sample);
+  void add_all(const std::vector<double>& samples);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+
+  /// q in [0,1]; linear interpolation between order statistics.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  /// Median with a 95% nonparametric (order statistic) confidence interval.
+  MedianCi median_ci95() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> sorted() const;
+  std::vector<double> samples_;
+};
+
+}  // namespace allconcur

@@ -1,0 +1,36 @@
+// Fundamental identifier and time types shared across all AllConcur modules.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace allconcur {
+
+/// Identifies a server (a vertex of the overlay digraph G).
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Round number R of the concurrent atomic broadcast (monotonic, 0-based).
+using Round = std::uint64_t;
+
+/// Simulated (and wall-clock) time in nanoseconds.
+using TimeNs = std::int64_t;
+
+/// Duration in nanoseconds.
+using DurationNs = std::int64_t;
+
+inline constexpr TimeNs kTimeNever = std::numeric_limits<TimeNs>::max();
+
+/// Convenience literals for building durations.
+constexpr DurationNs ns(double v) { return static_cast<DurationNs>(v); }
+constexpr DurationNs us(double v) { return static_cast<DurationNs>(v * 1e3); }
+constexpr DurationNs ms(double v) { return static_cast<DurationNs>(v * 1e6); }
+constexpr DurationNs sec(double v) { return static_cast<DurationNs>(v * 1e9); }
+
+constexpr double to_us(DurationNs d) { return static_cast<double>(d) / 1e3; }
+constexpr double to_ms(DurationNs d) { return static_cast<double>(d) / 1e6; }
+constexpr double to_sec(DurationNs d) { return static_cast<double>(d) / 1e9; }
+
+}  // namespace allconcur

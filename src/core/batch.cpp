@@ -1,0 +1,70 @@
+#include "core/batch.hpp"
+
+#include <cstring>
+
+namespace allconcur::core {
+
+Request Request::of_data(std::vector<std::uint8_t> bytes) {
+  Request r;
+  r.kind = Kind::kData;
+  r.data = std::move(bytes);
+  return r;
+}
+
+Request Request::join(NodeId subject) {
+  Request r;
+  r.kind = Kind::kJoin;
+  r.subject = subject;
+  return r;
+}
+
+Request Request::leave(NodeId subject) {
+  Request r;
+  r.kind = Kind::kLeave;
+  r.subject = subject;
+  return r;
+}
+
+// Batch layout: per request [u8 kind][u32 subject][u32 len][len bytes].
+Payload pack_batch(const std::vector<Request>& requests) {
+  if (requests.empty()) return nullptr;
+  std::size_t total = 0;
+  for (const Request& r : requests) total += 9 + r.data.size();
+  std::vector<std::uint8_t> out(total);
+  std::size_t at = 0;
+  for (const Request& r : requests) {
+    out[at] = static_cast<std::uint8_t>(r.kind);
+    const std::uint32_t subject = r.subject;
+    std::memcpy(out.data() + at + 1, &subject, 4);
+    const std::uint32_t len = static_cast<std::uint32_t>(r.data.size());
+    std::memcpy(out.data() + at + 5, &len, 4);
+    std::memcpy(out.data() + at + 9, r.data.data(), r.data.size());
+    at += 9 + r.data.size();
+  }
+  return make_payload(std::move(out));
+}
+
+std::optional<std::vector<Request>> unpack_batch(const Payload& payload) {
+  std::vector<Request> out;
+  if (!payload) return out;
+  const auto& bytes = *payload;
+  std::size_t at = 0;
+  while (at < bytes.size()) {
+    if (at + 9 > bytes.size()) return std::nullopt;
+    Request r;
+    if (bytes[at] > 2) return std::nullopt;
+    r.kind = static_cast<Request::Kind>(bytes[at]);
+    std::uint32_t subject, len;
+    std::memcpy(&subject, bytes.data() + at + 1, 4);
+    std::memcpy(&len, bytes.data() + at + 5, 4);
+    r.subject = subject;
+    if (at + 9 + len > bytes.size()) return std::nullopt;
+    r.data.assign(bytes.begin() + static_cast<std::ptrdiff_t>(at + 9),
+                  bytes.begin() + static_cast<std::ptrdiff_t>(at + 9 + len));
+    out.push_back(std::move(r));
+    at += 9 + len;
+  }
+  return out;
+}
+
+}  // namespace allconcur::core

@@ -1,0 +1,43 @@
+// Request batching (§5: "requests are buffered until the current agreement
+// round is completed; then, they are packed into a message that is
+// A-broadcast in the next round").
+//
+// A batch is the payload of one ⟨BCAST⟩ message. Besides opaque client
+// requests it can carry membership control requests: joins and leaves are
+// agreed upon via atomic broadcast itself (§3, "Initial bootstrap and
+// dynamic membership"), so they ride in the same batches.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/types.hpp"
+
+namespace allconcur::core {
+
+struct Request {
+  enum class Kind : std::uint8_t {
+    kData = 0,   ///< opaque client request
+    kJoin = 1,   ///< admit `subject` to the membership from the next round
+    kLeave = 2,  ///< remove `subject` from the next round on
+  };
+  Kind kind = Kind::kData;
+  NodeId subject = kInvalidNode;   ///< join/leave only
+  std::vector<std::uint8_t> data;  ///< data only
+
+  static Request of_data(std::vector<std::uint8_t> bytes);
+  static Request join(NodeId subject);
+  static Request leave(NodeId subject);
+};
+
+/// Serializes requests into one payload. Empty input yields a null payload
+/// (the paper's "empty message").
+Payload pack_batch(const std::vector<Request>& requests);
+
+/// Parses a batch payload; nullopt on malformed bytes. A null payload is an
+/// empty batch.
+std::optional<std::vector<Request>> unpack_batch(const Payload& payload);
+
+}  // namespace allconcur::core

@@ -1,0 +1,394 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace allconcur::core {
+
+// Adapter exposing the engine's failure knowledge (F_i) to the tracking
+// digraphs in rank space.
+class Engine::Knowledge final : public FailureKnowledge {
+ public:
+  explicit Knowledge(const Engine& e) : e_(e) {}
+  bool is_failed(NodeId rank) const override {
+    return e_.failed_rank_[rank];
+  }
+  bool has_pair(NodeId rank_j, NodeId rank_k) const override {
+    return e_.fails_.count({e_.view_->member(rank_j),
+                            e_.view_->member(rank_k)}) > 0;
+  }
+
+ private:
+  const Engine& e_;
+};
+
+Engine::Engine(NodeId self, View view, GraphBuilder builder, Hooks hooks,
+               Options options, Round start_round)
+    : self_(self),
+      builder_(std::move(builder)),
+      hooks_(std::move(hooks)),
+      options_(options),
+      round_(start_round),
+      view_(std::make_shared<const View>(std::move(view))) {
+  ALLCONCUR_ASSERT(hooks_.send && hooks_.deliver, "engine hooks required");
+  ALLCONCUR_ASSERT(view_->contains(self_), "self must be a view member");
+  start_round_state();
+}
+
+void Engine::start_round_state() {
+  const std::size_t n = view_->size();
+  const auto rank = view_->rank_of(self_);
+  ALLCONCUR_ASSERT(rank.has_value(), "self not in view");
+  self_rank_ = *rank;
+
+  msgs_.assign(n, nullptr);
+  msg_bytes_.assign(n, 0);
+  have_.assign(n, false);
+  own_broadcast_ = false;
+  tracking_.assign(n, TrackingDigraph{});
+  for (std::size_t r = 0; r < n; ++r) {
+    if (r == self_rank_) {
+      tracking_[r].reset_empty();
+    } else {
+      tracking_[r].reset(static_cast<NodeId>(r));
+    }
+  }
+  active_tracking_ = n > 0 ? n - 1 : 0;
+  failed_rank_.assign(n, false);
+  suspected_rank_.assign(n, false);
+  lost_.assign(n, false);
+  decided_ = false;
+  fwd_seen_.assign(n, false);
+  bwd_seen_.assign(n, false);
+  fwd_count_ = bwd_count_ = 0;
+}
+
+void Engine::submit(Request request) {
+  pending_.push_back(std::move(request));
+}
+
+void Engine::submit_opaque(std::size_t bytes) {
+  pending_opaque_bytes_ += bytes;
+}
+
+void Engine::broadcast_now() {
+  if (departed_ || own_broadcast_) return;
+  do_broadcast();
+  check_termination();
+}
+
+void Engine::do_broadcast() {
+  ALLCONCUR_ASSERT(!own_broadcast_, "already broadcast this round");
+  Message msg;
+  if (pending_opaque_bytes_ > 0 && pending_.empty()) {
+    msg = Message::bcast_sized(round_, self_, pending_opaque_bytes_);
+  } else {
+    msg = Message::bcast(round_, self_, pack_batch(pending_));
+    // Size-only load can ride along with structured requests: the declared
+    // size grows, the fabric charges for the bytes, nothing is
+    // materialized. (Simulation-only: the TCP encoder requires the payload
+    // to match the declared size.)
+    msg.payload_bytes += pending_opaque_bytes_;
+    pending_.clear();
+  }
+  pending_opaque_bytes_ = 0;
+  own_broadcast_ = true;
+  msgs_[self_rank_] = msg.payload;
+  msg_bytes_[self_rank_] = msg.payload_bytes;
+  have_[self_rank_] = true;
+  send_to_successors(msg);
+  stats_.bcast_sent +=
+      view_->overlay().out_degree(static_cast<NodeId>(self_rank_));
+}
+
+void Engine::send_to_successors(const Message& msg, NodeId skip) {
+  for (NodeId succ : view_->successors_of(self_)) {
+    if (succ == skip) continue;
+    stats_.bytes_sent += msg.wire_size();
+    hooks_.send(succ, msg);
+  }
+}
+
+void Engine::send_to_predecessors(const Message& msg, NodeId skip) {
+  for (NodeId pred : view_->predecessors_of(self_)) {
+    if (pred == skip) continue;
+    stats_.bytes_sent += msg.wire_size();
+    hooks_.send(pred, msg);
+  }
+}
+
+void Engine::on_message(NodeId from, const Message& msg) {
+  if (departed_) return;
+  if (msg.type == MsgType::kHeartbeat) return;  // FD traffic, not ours
+
+  if (msg.round < round_) {
+    ++stats_.dropped_stale;
+    return;
+  }
+  if (msg.round > round_) {
+    // Peers can run at most one round ahead (they cannot finish R+1
+    // without our R+1 message); farther-future traffic means we were
+    // evicted — drop it, the harness decides on rejoin.
+    if (msg.round == round_ + 1) next_round_buffer_.emplace_back(from, msg);
+    return;
+  }
+
+  switch (msg.type) {
+    case MsgType::kBroadcast:
+      handle_bcast(from, msg);
+      break;
+    case MsgType::kFail:
+      handle_fail(msg);
+      break;
+    case MsgType::kFwd:
+    case MsgType::kBwd:
+      handle_fwdbwd(from, msg);
+      break;
+    case MsgType::kHeartbeat:
+      break;
+  }
+}
+
+void Engine::handle_bcast(NodeId from, const Message& msg) {
+  ++stats_.bcast_received;
+  const auto from_rank = view_->rank_of(from);
+  if (from_rank && suspected_rank_[*from_rank]) {
+    // §3.3.2: once a predecessor is suspected, everything but failure
+    // notifications from it must be ignored, or the FAIL-implies-relayed
+    // inference of the tracking digraphs breaks.
+    ++stats_.dropped_suspected;
+    return;
+  }
+  const auto origin_rank = view_->rank_of(msg.origin);
+  if (!origin_rank) {
+    ++stats_.dropped_foreign;
+    return;
+  }
+
+  // Algorithm 1 line 15: A-broadcast our own message at the latest upon
+  // receiving someone else's.
+  if (!own_broadcast_) do_broadcast();
+
+  if (have_[*origin_rank]) return;  // duplicate: already relayed it
+
+  if (lost_[*origin_rank] || decided_) {
+    // ⋄P only (cannot happen with an accurate FD, see tests): the message
+    // set was already fixed without m_origin — adding it now would break
+    // the FWD/BWD set inferences. Count and drop.
+    ++stats_.dropped_lost;
+    return;
+  }
+
+  have_[*origin_rank] = true;
+  msgs_[*origin_rank] = msg.payload;
+  msg_bytes_[*origin_rank] = msg.payload_bytes;
+
+  // Line 17-18: relay to our successors (skipping the link it came from —
+  // that peer evidently has it).
+  send_to_successors(msg, from);
+  stats_.bcast_sent +=
+      view_->overlay().out_degree(static_cast<NodeId>(self_rank_));
+
+  // Line 19: m_origin is here, stop tracking it.
+  if (!tracking_[*origin_rank].empty()) {
+    tracking_[*origin_rank].clear();
+    ALLCONCUR_ASSERT(active_tracking_ > 0, "tracking count underflow");
+    --active_tracking_;
+  }
+  check_termination();
+}
+
+void Engine::handle_fail(const Message& msg) {
+  ++stats_.fail_received;
+  process_failure_pair(msg.origin, msg.detector, /*disseminate=*/true);
+  check_termination();
+}
+
+void Engine::on_suspect(NodeId suspect) {
+  if (departed_) return;
+  if (!view_->contains(suspect)) return;  // not (or no longer) a member
+  process_failure_pair(suspect, self_, /*disseminate=*/true);
+  check_termination();
+}
+
+void Engine::process_failure_pair(NodeId global_j, NodeId global_k,
+                                  bool disseminate) {
+  const auto rank_j = view_->rank_of(global_j);
+  if (!rank_j) {
+    ++stats_.dropped_foreign;
+    return;
+  }
+  if (!fails_.insert({global_j, global_k}).second) return;  // duplicate
+  failed_rank_[*rank_j] = true;
+  if (global_k == self_) suspected_rank_[*rank_j] = true;
+
+  if (disseminate) {
+    // Line 22: R-broadcast the notification onward.
+    const Message out = Message::fail(round_, global_j, global_k);
+    send_to_successors(out);
+    stats_.fail_sent +=
+        view_->overlay().out_degree(static_cast<NodeId>(self_rank_));
+  }
+
+  // The detector may have left the membership between rounds; its
+  // non-receipt information is then moot (it is not a successor in the
+  // current overlay), but "p_j failed" still matters.
+  const auto rank_k = view_->rank_of(global_k);
+  const NodeId k_or_sentinel =
+      rank_k ? static_cast<NodeId>(*rank_k) : kInvalidNode;
+
+  // Lines 24-41: update every tracking digraph that contains p_j.
+  const Knowledge fk(*this);
+  for (std::size_t r = 0; r < tracking_.size(); ++r) {
+    if (tracking_[r].empty()) continue;
+    if (tracking_[r].on_failure(static_cast<NodeId>(*rank_j), k_or_sentinel,
+                                view_->overlay(), fk)) {
+      ALLCONCUR_ASSERT(active_tracking_ > 0, "tracking count underflow");
+      --active_tracking_;
+      lost_[r] = true;  // pruned to empty: m_r is lost, not received
+    }
+  }
+}
+
+void Engine::handle_fwdbwd(NodeId from, const Message& msg) {
+  ++stats_.fwd_bwd_received;
+  if (options_.fd_mode != FdMode::kEventuallyPerfect) return;
+  const auto from_rank = view_->rank_of(from);
+  if (from_rank && suspected_rank_[*from_rank]) {
+    ++stats_.dropped_suspected;
+    return;
+  }
+  const auto origin_rank = view_->rank_of(msg.origin);
+  if (!origin_rank) {
+    ++stats_.dropped_foreign;
+    return;
+  }
+  if (msg.type == MsgType::kFwd) {
+    if (fwd_seen_[*origin_rank]) return;
+    fwd_seen_[*origin_rank] = true;
+    if (msg.origin != self_) ++fwd_count_;
+    send_to_successors(msg, from);
+  } else {
+    if (bwd_seen_[*origin_rank]) return;
+    bwd_seen_[*origin_rank] = true;
+    if (msg.origin != self_) ++bwd_count_;
+    // ⟨BWD⟩ travels on the transpose of G.
+    send_to_predecessors(msg, from);
+  }
+  ++stats_.fwd_bwd_sent;
+  check_termination();
+}
+
+void Engine::check_termination() {
+  if (departed_) return;
+  if (!own_broadcast_) return;
+  if (active_tracking_ != 0) return;
+
+  if (options_.fd_mode == FdMode::kEventuallyPerfect) {
+    if (!decided_) {
+      // §3.3.2: the message set M_i is decided; announce it forward along
+      // G and backward along G's transpose (Kosaraju-style probes).
+      decided_ = true;
+      fwd_seen_[self_rank_] = true;
+      bwd_seen_[self_rank_] = true;
+      send_to_successors(Message::fwd(round_, self_));
+      send_to_predecessors(Message::bwd(round_, self_));
+      stats_.fwd_bwd_sent += 2;
+    }
+    // Deliver only inside a surviving partition: ⌊n/2⌋ distinct FWD and
+    // BWD origins besides ourselves make a strict majority with us.
+    const std::size_t needed = view_->size() / 2;
+    if (fwd_count_ < needed || bwd_count_ < needed) return;
+  }
+  deliver_round();
+}
+
+void Engine::deliver_round() {
+  // --- Assemble the result (deliveries in deterministic id order). ---
+  RoundResult result;
+  result.round = round_;
+  result.view_size = view_->size();
+  std::vector<NodeId> leaves;
+  for (std::size_t r = 0; r < view_->size(); ++r) {
+    if (!have_[r]) {
+      result.removed.push_back(view_->member(r));
+      continue;
+    }
+    Delivery d;
+    d.origin = view_->member(r);
+    d.payload = msgs_[r];
+    d.bytes = msg_bytes_[r];
+    result.deliveries.push_back(d);
+    // Membership control requests ride in ordinary batches.
+    if (d.payload) {
+      const auto requests = unpack_batch(d.payload);
+      if (requests) {
+        for (const Request& req : *requests) {
+          if (req.kind == Request::Kind::kJoin &&
+              !view_->contains(req.subject)) {
+            result.joined.push_back(req.subject);
+          } else if (req.kind == Request::Kind::kLeave &&
+                     view_->contains(req.subject)) {
+            leaves.push_back(req.subject);
+          }
+        }
+      }
+    }
+  }
+  std::sort(result.joined.begin(), result.joined.end());
+  result.joined.erase(std::unique(result.joined.begin(), result.joined.end()),
+                      result.joined.end());
+  ++stats_.rounds_completed;
+
+  // --- Transition to round R+1 (Algorithm 1 lines 9-13). ---
+  std::vector<NodeId> removed_all = result.removed;
+  removed_all.insert(removed_all.end(), leaves.begin(), leaves.end());
+  const bool membership_changed =
+      !removed_all.empty() || !result.joined.empty();
+
+  if (std::find(removed_all.begin(), removed_all.end(), self_) !=
+      removed_all.end()) {
+    departed_ = true;
+    hooks_.deliver(result);
+    return;
+  }
+
+  std::shared_ptr<const View> next_view =
+      membership_changed
+          ? std::make_shared<const View>(
+                view_->next(removed_all, result.joined, builder_))
+          : view_;
+
+  // Carry failure notifications of servers that remain members (line 12).
+  std::vector<std::pair<NodeId, NodeId>> carried;
+  for (const auto& [j, k] : fails_) {
+    if (next_view->contains(j)) carried.emplace_back(j, k);
+  }
+
+  ++round_;
+  view_ = std::move(next_view);
+  fails_.clear();
+  start_round_state();
+
+  // Re-seed and resend the carried notifications in the new round
+  // (line 13); dissemination uses the new round tag.
+  for (const auto& [j, k] : carried) {
+    process_failure_pair(j, k, /*disseminate=*/true);
+  }
+
+  // Report R before replaying any buffered R+1 traffic so deliveries stay
+  // in round order; the hook may submit/broadcast for the new round.
+  hooks_.deliver(result);
+
+  if (!next_round_buffer_.empty()) {
+    const std::vector<std::pair<NodeId, Message>> buffered =
+        std::move(next_round_buffer_);
+    next_round_buffer_.clear();
+    for (const auto& [from, msg] : buffered) {
+      on_message(from, msg);
+    }
+  }
+}
+
+}  // namespace allconcur::core

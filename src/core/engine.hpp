@@ -1,0 +1,159 @@
+// The AllConcur protocol engine: Algorithm 1 plus round iteration, dynamic
+// membership and the ⋄P surviving-partition extension (§3).
+//
+// The engine is a pure message-driven state machine: it owns no sockets,
+// threads or clocks. It consumes (from, Message) events and emits messages
+// through a send hook; round completion is reported through a deliver
+// hook. The same engine instance runs under the discrete-event simulator,
+// under the real TCP transport, and directly inside unit tests.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/batch.hpp"
+#include "core/message.hpp"
+#include "core/tracking.hpp"
+#include "core/view.hpp"
+
+namespace allconcur::core {
+
+/// Failure-detector regime (§3.2 / §3.3.2). kPerfect trusts every
+/// notification (P); kEventuallyPerfect adds the FWD/BWD majority gate
+/// before delivery so that false suspicions cannot break set agreement.
+enum class FdMode { kPerfect, kEventuallyPerfect };
+
+struct Delivery {
+  NodeId origin = kInvalidNode;
+  Payload payload;               ///< null for empty or size-only messages
+  std::uint64_t bytes = 0;       ///< payload size (valid also size-only)
+};
+
+struct RoundResult {
+  Round round = 0;
+  std::size_t view_size = 0;            ///< n of this round
+  std::vector<Delivery> deliveries;     ///< deterministic order (by id)
+  std::vector<NodeId> removed;          ///< tagged failed at round end
+  std::vector<NodeId> joined;           ///< admitted from the next round
+};
+
+struct EngineStats {
+  std::uint64_t bcast_sent = 0, bcast_received = 0;
+  std::uint64_t fail_sent = 0, fail_received = 0;
+  std::uint64_t fwd_bwd_sent = 0, fwd_bwd_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t dropped_stale = 0;      ///< messages for completed rounds
+  std::uint64_t dropped_suspected = 0;  ///< ignore-after-suspect (§3.3.2)
+  std::uint64_t dropped_foreign = 0;    ///< origin not in the view
+  std::uint64_t dropped_lost = 0;       ///< arrived after declared lost (⋄P)
+  std::uint64_t rounds_completed = 0;
+};
+
+struct EngineOptions {
+  FdMode fd_mode = FdMode::kPerfect;
+};
+
+class Engine {
+ public:
+  struct Hooks {
+    /// Emit one protocol message toward a peer (required).
+    std::function<void(NodeId dst, const Message&)> send;
+    /// A-deliver one completed round (required).
+    std::function<void(const RoundResult&)> deliver;
+  };
+  using Options = EngineOptions;
+
+  /// `start_round` > 0 is used by joiners entering an existing deployment.
+  Engine(NodeId self, View view, GraphBuilder builder, Hooks hooks,
+         Options options = Options(), Round start_round = 0);
+
+  NodeId self() const { return self_; }
+  Round current_round() const { return round_; }
+  const View& view() const { return *view_; }
+  const EngineStats& stats() const { return stats_; }
+  bool has_broadcast() const { return own_broadcast_; }
+  bool departed() const { return departed_; }
+
+  /// Queues a request for this server's next A-broadcast.
+  void submit(Request request);
+
+  /// Queues `bytes` of size-only load (throughput benches: the simulator
+  /// charges for the bytes, nothing is materialized).
+  void submit_opaque(std::size_t bytes);
+
+  /// A-broadcasts this round's own message (packing everything queued).
+  /// No-op if the round's message was already sent; the engine also
+  /// broadcasts automatically upon the first ⟨BCAST⟩ it receives
+  /// (Algorithm 1 line 15).
+  void broadcast_now();
+
+  /// Transport delivery: `from` is the link peer (the relaying
+  /// predecessor), not necessarily the origin.
+  void on_message(NodeId from, const Message& msg);
+
+  /// Local failure detector: predecessor `suspect` is considered failed.
+  void on_suspect(NodeId suspect);
+
+  /// Number of still-unresolved tracking digraphs (0 means the message
+  /// set is decided; in ⋄P delivery additionally waits for the gate).
+  std::size_t active_tracking() const { return active_tracking_; }
+
+  /// Read-only access for tests: tracking digraph for a peer (by rank).
+  const TrackingDigraph& tracking_of(std::size_t rank) const {
+    return tracking_[rank];
+  }
+
+ private:
+  class Knowledge;  // FailureKnowledge adapter over engine state
+
+  void start_round_state();
+  void do_broadcast();
+  void handle_bcast(NodeId from, const Message& msg);
+  void handle_fail(const Message& msg);
+  void handle_fwdbwd(NodeId from, const Message& msg);
+  void process_failure_pair(NodeId global_j, NodeId global_k,
+                            bool disseminate);
+  void send_to_successors(const Message& msg, NodeId skip = kInvalidNode);
+  void send_to_predecessors(const Message& msg, NodeId skip = kInvalidNode);
+  void check_termination();
+  void deliver_round();
+
+  NodeId self_;
+  GraphBuilder builder_;
+  Hooks hooks_;
+  Options options_;
+
+  Round round_ = 0;
+  std::shared_ptr<const View> view_;  // immutable; shared across rounds
+  std::size_t self_rank_ = 0;
+  bool departed_ = false;
+
+  // Requests buffered for the next own broadcast (§5 batching).
+  std::vector<Request> pending_;
+  std::size_t pending_opaque_bytes_ = 0;
+
+  // Per-round state (reset by start_round_state).
+  std::vector<Payload> msgs_;            // by rank
+  std::vector<std::uint64_t> msg_bytes_; // by rank
+  std::vector<bool> have_;               // m ∈ M_i
+  bool own_broadcast_ = false;
+  std::vector<TrackingDigraph> tracking_;
+  std::size_t active_tracking_ = 0;
+  std::set<std::pair<NodeId, NodeId>> fails_;  // F_i as global-id pairs
+  std::vector<bool> failed_rank_;
+  std::vector<bool> suspected_rank_;  // own-FD suspicions (ranks)
+  std::vector<bool> lost_;            // tracking pruned: message declared lost
+  // ⋄P state.
+  bool decided_ = false;
+  std::vector<bool> fwd_seen_, bwd_seen_;
+  std::size_t fwd_count_ = 0, bwd_count_ = 0;
+  // Messages for round R+1 received while still in R.
+  std::vector<std::pair<NodeId, Message>> next_round_buffer_;
+
+  EngineStats stats_;
+};
+
+}  // namespace allconcur::core

@@ -1,0 +1,95 @@
+#include "core/failure_detector.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace allconcur::core {
+
+HeartbeatFd::HeartbeatFd(NodeId self, Params params, Hooks hooks)
+    : self_(self),
+      params_(params),
+      hooks_(std::move(hooks)),
+      timeout_(params.timeout) {
+  ALLCONCUR_ASSERT(params_.period > 0, "heartbeat period must be positive");
+  ALLCONCUR_ASSERT(params_.timeout >= params_.period,
+                   "timeout below the heartbeat period always fires");
+  ALLCONCUR_ASSERT(hooks_.send && hooks_.suspect, "FD hooks required");
+}
+
+void HeartbeatFd::set_peers(std::vector<NodeId> successors,
+                            std::vector<NodeId> predecessors, TimeNs now) {
+  successors_ = std::move(successors);
+  std::unordered_map<NodeId, TimeNs> fresh;
+  std::unordered_map<NodeId, bool> fresh_suspected;
+  for (NodeId p : predecessors) {
+    // Carry state for peers we already monitor; new peers get a full
+    // timeout of grace starting now.
+    const auto it = last_heard_.find(p);
+    fresh[p] = it == last_heard_.end() ? now : it->second;
+    const auto st = suspected_.find(p);
+    fresh_suspected[p] = st != suspected_.end() && st->second;
+  }
+  last_heard_ = std::move(fresh);
+  suspected_ = std::move(fresh_suspected);
+}
+
+void HeartbeatFd::on_heartbeat(NodeId from, TimeNs now) {
+  const auto it = last_heard_.find(from);
+  if (it == last_heard_.end()) return;  // not a predecessor
+  it->second = now;
+  if (suspected_[from]) {
+    // Evidence of a false suspicion: with the adaptive (⋄P) policy the
+    // peer is rehabilitated and the timeout backs off so that, eventually,
+    // no live server is suspected (§3.3.2).
+    if (params_.adaptive) {
+      suspected_[from] = false;
+      timeout_ = std::min<DurationNs>(timeout_ * 2, params_.max_timeout);
+    }
+  }
+}
+
+void HeartbeatFd::tick(TimeNs now) {
+  if (last_sent_ < 0 || now - last_sent_ >= params_.period) {
+    last_sent_ = now;
+    for (NodeId s : successors_) {
+      hooks_.send(s, Message::heartbeat(self_));
+    }
+  }
+  // Collect verdicts first: the suspect callback can complete a round and
+  // reconfigure this detector (set_peers), invalidating the iteration.
+  std::vector<NodeId> newly_suspected;
+  for (auto& [peer, heard] : last_heard_) {
+    if (!suspected_[peer] && now - heard >= timeout_) {
+      suspected_[peer] = true;
+      newly_suspected.push_back(peer);
+    }
+  }
+  for (NodeId peer : newly_suspected) hooks_.suspect(peer);
+}
+
+bool HeartbeatFd::is_suspected(NodeId peer) const {
+  const auto it = suspected_.find(peer);
+  return it != suspected_.end() && it->second;
+}
+
+double fd_accuracy_lower_bound(
+    std::size_t n, std::size_t d, double hb_period, double timeout,
+    const std::function<double(double)>& delay_tail) {
+  ALLCONCUR_ASSERT(hb_period > 0 && timeout >= hb_period,
+                   "need timeout >= heartbeat period > 0");
+  const std::size_t beats = static_cast<std::size_t>(timeout / hb_period);
+  double miss_all = 1.0;
+  for (std::size_t k = 1; k <= beats; ++k) {
+    miss_all *= delay_tail(timeout - static_cast<double>(k) * hb_period);
+  }
+  const double per_link = 1.0 - miss_all;
+  return std::pow(per_link, static_cast<double>(n) * static_cast<double>(d));
+}
+
+std::function<double(double)> exponential_delay_tail(double mean) {
+  ALLCONCUR_ASSERT(mean > 0, "delay mean must be positive");
+  return [mean](double t) { return t <= 0 ? 1.0 : std::exp(-t / mean); };
+}
+
+}  // namespace allconcur::core

@@ -1,0 +1,75 @@
+// Heartbeat-based failure detection (§3.2).
+//
+// Every server sends heartbeats to its successors with period Δhb and
+// suspects a predecessor after Δto without one. With accurate timing this
+// behaves as the perfect detector P the correctness proof assumes; the
+// adaptive variant backs the timeout off after evidence of a false
+// suspicion, implementing the eventually-perfect detector ⋄P of §3.3.2.
+//
+// The detector is transport-agnostic: the harness pumps tick(now) and
+// on_heartbeat(from, now) and receives suspicion callbacks.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/message.hpp"
+
+namespace allconcur::core {
+
+class HeartbeatFd {
+ public:
+  struct Params {
+    DurationNs period = ms(10);    ///< Δhb (Fig. 7 uses 10ms)
+    DurationNs timeout = ms(100);  ///< Δto (Fig. 7 uses 100ms)
+    bool adaptive = false;         ///< ⋄P: back off after false suspicion
+    DurationNs max_timeout = sec(10);
+  };
+  struct Hooks {
+    std::function<void(NodeId dst, const Message&)> send;  ///< heartbeat out
+    std::function<void(NodeId suspect)> suspect;           ///< FD verdict
+  };
+
+  HeartbeatFd(NodeId self, Params params, Hooks hooks);
+
+  /// Reconfigures the monitored sets (on every view change): heartbeats go
+  /// to successors, timeouts are kept per predecessor.
+  void set_peers(std::vector<NodeId> successors,
+                 std::vector<NodeId> predecessors, TimeNs now);
+
+  /// A heartbeat (or in fact any message — traffic proves liveness)
+  /// arrived from `from`.
+  void on_heartbeat(NodeId from, TimeNs now);
+
+  /// Periodic driver: sends heartbeats when due and checks timeouts.
+  /// Call at least once per Δhb.
+  void tick(TimeNs now);
+
+  bool is_suspected(NodeId peer) const;
+  DurationNs current_timeout() const { return timeout_; }
+
+ private:
+  NodeId self_;
+  Params params_;
+  Hooks hooks_;
+  DurationNs timeout_;
+  TimeNs last_sent_ = -1;
+  std::vector<NodeId> successors_;
+  std::unordered_map<NodeId, TimeNs> last_heard_;  // per predecessor
+  std::unordered_map<NodeId, bool> suspected_;
+};
+
+/// §3.2 closed form: lower bound on the probability that a heartbeat FD
+/// with period Δhb and timeout Δto behaves indistinguishably from P across
+/// n servers of degree d, given the delay tail Pr[T > t].
+///   P ≥ (1 − Π_{k=1..⌊Δto/Δhb⌋} Pr[T > Δto − k·Δhb])^{n·d}
+double fd_accuracy_lower_bound(std::size_t n, std::size_t d,
+                               double hb_period, double timeout,
+                               const std::function<double(double)>& delay_tail);
+
+/// Exponential delay tail Pr[T > t] = e^{-t/mean} as a convenience.
+std::function<double(double)> exponential_delay_tail(double mean);
+
+}  // namespace allconcur::core

@@ -1,0 +1,37 @@
+#include "core/logp_model.hpp"
+
+#include <cmath>
+
+namespace allconcur::core {
+
+double logp_work_bound_ns(std::size_t n, std::size_t d, const LogP& p) {
+  return 2.0 * static_cast<double>(n - 1) * static_cast<double>(d) *
+         p.overhead_ns;
+}
+
+double logp_depth_ns(std::size_t d, std::size_t diameter, const LogP& p) {
+  const double o_s =
+      p.overhead_ns + (static_cast<double>(d) - 1.0) / 2.0 * p.overhead_ns;
+  return 2.0 * (p.latency_ns + o_s + p.overhead_ns) *
+         static_cast<double>(diameter);
+}
+
+std::size_t messages_per_server(std::size_t n, std::size_t d, std::size_t f) {
+  return n * d + f * d * d;
+}
+
+double prob_depth_within_fault_diameter(std::size_t n, std::size_t d,
+                                        double overhead_ns, double mttf_ns) {
+  return std::exp(-static_cast<double>(n) * static_cast<double>(d) *
+                  overhead_ns / mttf_ns);
+}
+
+double worst_case_depth_ns(std::size_t f, std::size_t fault_diameter,
+                           std::size_t d, const LogP& p) {
+  const double o_s =
+      p.overhead_ns + (static_cast<double>(d) - 1.0) / 2.0 * p.overhead_ns;
+  return (p.latency_ns + o_s + p.overhead_ns) *
+         static_cast<double>(f + fault_diameter);
+}
+
+}  // namespace allconcur::core

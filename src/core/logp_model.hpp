@@ -1,0 +1,38 @@
+// Closed-form LogP performance models from §4 of the paper. The Fig. 6
+// harness plots these next to measured latencies; the ablation benches use
+// them as the no-early-termination worst case.
+#pragma once
+
+#include <cstddef>
+
+namespace allconcur::core {
+
+struct LogP {
+  double latency_ns;   ///< L
+  double overhead_ns;  ///< o
+};
+
+/// §4.1: lower bound on termination due to work — a server receives at
+/// least (n-1) messages and forwards them to d successors: 2(n-1)·d·o.
+double logp_work_bound_ns(std::size_t n, std::size_t d, const LogP& p);
+
+/// §4.2.1: time for the A-broadcast of one message and the empty messages
+/// travelling back, T_D(m) + T_D(m_∅) = 2·(L + o_s + o)·D with
+/// o_s = o + (d-1)/2·o (contention while sending to d successors).
+double logp_depth_ns(std::size_t d, std::size_t diameter, const LogP& p);
+
+/// §4.1: messages received (= sent) per server with f failures:
+/// n·d + f·d².
+std::size_t messages_per_server(std::size_t n, std::size_t d, std::size_t f);
+
+/// §4.2.2: probability that the depth D stays within [D, D_f] for one
+/// round: e^{-n·d·o/MTTF} (the sender survives its own dissemination).
+double prob_depth_within_fault_diameter(std::size_t n, std::size_t d,
+                                        double overhead_ns, double mttf_ns);
+
+/// §2.2.1 worst case without early termination: f + D_f(G, f)
+/// communication steps, each costing (L + o_s + o).
+double worst_case_depth_ns(std::size_t f, std::size_t fault_diameter,
+                           std::size_t d, const LogP& p);
+
+}  // namespace allconcur::core

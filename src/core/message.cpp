@@ -1,0 +1,124 @@
+#include "core/message.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+
+namespace allconcur::core {
+
+Message Message::bcast(Round r, NodeId origin, Payload p) {
+  Message m;
+  m.type = MsgType::kBroadcast;
+  m.round = r;
+  m.origin = origin;
+  m.payload_bytes = payload_size(p);
+  m.payload = std::move(p);
+  return m;
+}
+
+Message Message::bcast_sized(Round r, NodeId origin, std::uint64_t bytes) {
+  Message m;
+  m.type = MsgType::kBroadcast;
+  m.round = r;
+  m.origin = origin;
+  m.payload_bytes = bytes;
+  return m;
+}
+
+Message Message::fail(Round r, NodeId suspected, NodeId detector) {
+  Message m;
+  m.type = MsgType::kFail;
+  m.round = r;
+  m.origin = suspected;
+  m.detector = detector;
+  return m;
+}
+
+Message Message::fwd(Round r, NodeId origin) {
+  Message m;
+  m.type = MsgType::kFwd;
+  m.round = r;
+  m.origin = origin;
+  return m;
+}
+
+Message Message::bwd(Round r, NodeId origin) {
+  Message m;
+  m.type = MsgType::kBwd;
+  m.round = r;
+  m.origin = origin;
+  return m;
+}
+
+Message Message::heartbeat(NodeId origin) {
+  Message m;
+  m.type = MsgType::kHeartbeat;
+  m.origin = origin;
+  return m;
+}
+
+namespace {
+
+// Little-endian header layout (24 bytes):
+//   [0]  u8  type
+//   [1]  u8  reserved
+//   [2]  u16 reserved
+//   [4]  u32 origin
+//   [8]  u32 detector
+//   [12] u32 payload length
+//   [16] u64 round
+template <typename T>
+void put(std::vector<std::uint8_t>& out, std::size_t offset, T value) {
+  std::memcpy(out.data() + offset, &value, sizeof(T));
+}
+
+template <typename T>
+T get(std::span<const std::uint8_t> in, std::size_t offset) {
+  T value;
+  std::memcpy(&value, in.data() + offset, sizeof(T));
+  return value;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Message& m) {
+  std::vector<std::uint8_t> out(Message::kHeaderBytes + m.payload_bytes, 0);
+  put<std::uint8_t>(out, 0, static_cast<std::uint8_t>(m.type));
+  put<std::uint32_t>(out, 4, m.origin);
+  put<std::uint32_t>(out, 8, m.detector);
+  put<std::uint32_t>(out, 12, static_cast<std::uint32_t>(m.payload_bytes));
+  put<std::uint64_t>(out, 16, m.round);
+  if (m.payload) {
+    ALLCONCUR_ASSERT(m.payload->size() == m.payload_bytes,
+                     "payload size mismatch");
+    std::memcpy(out.data() + Message::kHeaderBytes, m.payload->data(),
+                m.payload->size());
+  }
+  return out;
+}
+
+std::optional<std::size_t> frame_size(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < Message::kHeaderBytes) return std::nullopt;
+  return Message::kHeaderBytes + get<std::uint32_t>(bytes, 12);
+}
+
+std::optional<Message> decode(std::span<const std::uint8_t> bytes) {
+  const auto frame = frame_size(bytes);
+  if (!frame || bytes.size() < *frame) return std::nullopt;
+  Message m;
+  const auto raw_type = get<std::uint8_t>(bytes, 0);
+  if (raw_type < 1 || raw_type > 5) return std::nullopt;
+  m.type = static_cast<MsgType>(raw_type);
+  m.origin = get<std::uint32_t>(bytes, 4);
+  m.detector = get<std::uint32_t>(bytes, 8);
+  m.payload_bytes = get<std::uint32_t>(bytes, 12);
+  m.round = get<std::uint64_t>(bytes, 16);
+  if (m.payload_bytes > 0) {
+    m.payload = make_payload(std::vector<std::uint8_t>(
+        bytes.begin() + Message::kHeaderBytes,
+        bytes.begin() + static_cast<std::ptrdiff_t>(*frame)));
+  }
+  return m;
+}
+
+}  // namespace allconcur::core

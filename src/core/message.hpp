@@ -1,0 +1,63 @@
+// Wire messages of the AllConcur protocol (§3).
+//
+// The algorithm distinguishes ⟨BCAST, m_j⟩ and ⟨FAIL, p_j, p_k⟩; iterating
+// rounds tags every message with its round R so that (R, p_j) identifies a
+// broadcast and (R, p_j, p_k) a failure notification. The ⋄P extension
+// (§3.3.2) adds ⟨FWD, p_i⟩ / ⟨BWD, p_i⟩, and the failure detector uses
+// heartbeats.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "core/types.hpp"
+
+namespace allconcur::core {
+
+enum class MsgType : std::uint8_t {
+  kBroadcast = 1,  ///< ⟨BCAST, m⟩: A-broadcast message, relayed along G
+  kFail = 2,       ///< ⟨FAIL, p_j, p_k⟩: p_k suspects its predecessor p_j
+  kFwd = 3,        ///< ⟨FWD, p_i⟩: ⋄P surviving-partition probe along G
+  kBwd = 4,        ///< ⟨BWD, p_i⟩: same along the transpose of G
+  kHeartbeat = 5,  ///< FD heartbeat (not round-scoped)
+};
+
+struct Message {
+  MsgType type{MsgType::kHeartbeat};
+  Round round = 0;
+  /// BCAST: sender(m); FAIL: the suspected server p_j; FWD/BWD: the server
+  /// that decided its message set; HB: the heartbeating server.
+  NodeId origin = kInvalidNode;
+  /// FAIL only: the detecting successor p_k.
+  NodeId detector = kInvalidNode;
+  /// BCAST only; may be null together with payload_bytes > 0 for
+  /// "size-only" payloads used by throughput benches.
+  Payload payload;
+  std::uint64_t payload_bytes = 0;
+
+  /// Serialized header size (see message.cpp for the layout).
+  static constexpr std::size_t kHeaderBytes = 24;
+  std::size_t wire_size() const { return kHeaderBytes + payload_bytes; }
+
+  static Message bcast(Round r, NodeId origin, Payload p);
+  /// Size-only broadcast: carries no bytes but is charged for them.
+  static Message bcast_sized(Round r, NodeId origin, std::uint64_t bytes);
+  static Message fail(Round r, NodeId suspected, NodeId detector);
+  static Message fwd(Round r, NodeId origin);
+  static Message bwd(Round r, NodeId origin);
+  static Message heartbeat(NodeId origin);
+};
+
+/// Serializes for the TCP transport. Size-only payloads are materialized
+/// as zero bytes of the declared length.
+std::vector<std::uint8_t> encode(const Message& m);
+
+/// Parses one message; nullopt on malformed/truncated input.
+std::optional<Message> decode(std::span<const std::uint8_t> bytes);
+
+/// Frame length for a buffer starting with a header (nullopt if the header
+/// is incomplete).
+std::optional<std::size_t> frame_size(std::span<const std::uint8_t> bytes);
+
+}  // namespace allconcur::core

@@ -1,0 +1,37 @@
+#include "core/reconfig.hpp"
+
+#include "common/assert.hpp"
+
+namespace allconcur::core {
+
+ReconfigDecision evaluate_reconfig(const ReconfigPolicy& policy,
+                                   std::size_t current_n,
+                                   std::size_t current_degree) {
+  ALLCONCUR_ASSERT(current_n >= 1, "empty deployment");
+  ReconfigDecision out;
+  const std::size_t k = std::min(current_degree, current_n - 1);
+  out.current_nines = current_n == 1
+                          ? 20.0
+                          : graph::system_reliability_nines(
+                                current_n, std::max<std::size_t>(k, 1),
+                                policy.failure_model);
+  out.meets_target = out.current_nines >= policy.target_nines;
+  if (current_n >= 6) {
+    out.required_degree = graph::min_gs_degree_for_target(
+        current_n, policy.target_nines, policy.failure_model);
+  } else if (current_n >= 2) {
+    // Below the GS limit the overlay is complete: k = n-1 is the best
+    // achievable; report it if it meets the target.
+    if (graph::system_reliability_nines(current_n, current_n - 1,
+                                        policy.failure_model) >=
+        policy.target_nines) {
+      out.required_degree = current_n - 1;
+    }
+  }
+  if (policy.target_size > current_n) {
+    out.replacements_needed = policy.target_size - current_n;
+  }
+  return out;
+}
+
+}  // namespace allconcur::core

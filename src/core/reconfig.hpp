@@ -1,0 +1,44 @@
+// Reconfiguration policy (§4.2.2 deployment note: "a practical deployment
+// of AllConcur should include regularly replacing failed servers and/or
+// updating G after failures").
+//
+// Failures erode reliability twice: the membership shrinks (fewer servers
+// must fail to drop below k) and, since the overlay is rebuilt per view,
+// the degree chosen for the original size may no longer meet the target.
+// The policy evaluates a view against a reliability target and recommends
+// how many standby servers to admit and/or which degree the rebuilt
+// overlay needs.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "graph/reliability.hpp"
+
+namespace allconcur::core {
+
+struct ReconfigPolicy {
+  double target_nines = 6.0;
+  graph::FailureModel failure_model;
+  /// Restore the membership to this size when standbys are available.
+  std::size_t target_size = 0;
+};
+
+struct ReconfigDecision {
+  /// Nines delivered by the current (n, d) configuration.
+  double current_nines = 0.0;
+  bool meets_target = true;
+  /// Minimal GS degree meeting the target at the current size (nullopt if
+  /// no degree can, e.g. n too small for the required connectivity).
+  std::optional<std::size_t> required_degree;
+  /// Standby admissions recommended to restore target_size.
+  std::size_t replacements_needed = 0;
+};
+
+/// Evaluates the current deployment: n live members on a d-connected
+/// overlay, against the policy.
+ReconfigDecision evaluate_reconfig(const ReconfigPolicy& policy,
+                                   std::size_t current_n,
+                                   std::size_t current_degree);
+
+}  // namespace allconcur::core

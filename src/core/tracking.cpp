@@ -1,0 +1,145 @@
+#include "core/tracking.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/assert.hpp"
+
+namespace allconcur::core {
+
+void TrackingDigraph::reset(NodeId root_rank) {
+  root_ = root_rank;
+  vertices_ = {root_rank};
+  edges_.clear();
+}
+
+void TrackingDigraph::reset_empty() {
+  root_ = kInvalidNode;
+  vertices_.clear();
+  edges_.clear();
+}
+
+bool TrackingDigraph::contains(NodeId rank) const {
+  return std::binary_search(vertices_.begin(), vertices_.end(), rank);
+}
+
+bool TrackingDigraph::has_edge(NodeId from, NodeId to) const {
+  return std::binary_search(edges_.begin(), edges_.end(),
+                            std::make_pair(from, to));
+}
+
+void TrackingDigraph::clear() {
+  vertices_.clear();
+  edges_.clear();
+}
+
+void TrackingDigraph::add_vertex(NodeId rank) {
+  const auto it = std::lower_bound(vertices_.begin(), vertices_.end(), rank);
+  if (it == vertices_.end() || *it != rank) vertices_.insert(it, rank);
+}
+
+void TrackingDigraph::add_edge(NodeId from, NodeId to) {
+  const auto e = std::make_pair(from, to);
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), e);
+  if (it == edges_.end() || *it != e) edges_.insert(it, e);
+}
+
+void TrackingDigraph::remove_edge(NodeId from, NodeId to) {
+  const auto e = std::make_pair(from, to);
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), e);
+  if (it != edges_.end() && *it == e) edges_.erase(it);
+}
+
+bool TrackingDigraph::successors_empty(NodeId rank) const {
+  // Edges are sorted by (from, to): any edge with .first == rank sits at
+  // the lower bound of (rank, 0).
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(),
+                                   std::make_pair(rank, NodeId{0}));
+  return it == edges_.end() || it->first != rank;
+}
+
+bool TrackingDigraph::on_failure(NodeId rank_j, NodeId rank_k,
+                                 const graph::Digraph& overlay,
+                                 const FailureKnowledge& fk) {
+  if (empty()) return false;
+  if (!contains(rank_j)) return false;  // line 25
+
+  if (successors_empty(rank_j)) {
+    // First notification of p_j's failure processed in this digraph
+    // (lines 26-34): p_j may have sent m* to its successors before
+    // failing — track them, chasing through already-failed servers.
+    std::deque<std::pair<NodeId, NodeId>> queue;  // FIFO queue Q
+    for (NodeId s : overlay.successors(rank_j)) {
+      // Exclude p_k (line 27) and any successor whose ⟨FAIL, p_j, s⟩ we
+      // already hold — s reported before relaying, so it cannot have m*
+      // from p_j (the paper applies this filter in the chained case,
+      // line 33; applying it here too is strictly more precise).
+      if (s != rank_k && !fk.has_pair(rank_j, s)) {
+        queue.emplace_back(rank_j, s);
+      }
+    }
+    while (!queue.empty()) {
+      const auto [pp, p] = queue.front();
+      queue.pop_front();
+      if (!contains(p)) {
+        add_vertex(p);
+        if (fk.is_failed(p)) {
+          // p already failed but may have relayed m* further (line 32):
+          // enqueue its successors, except those whose failure
+          // notification for p we already hold.
+          for (NodeId ps : overlay.successors(p)) {
+            if (!fk.has_pair(p, ps)) queue.emplace_back(p, ps);
+          }
+        }
+      }
+      add_edge(pp, p);  // line 34
+    }
+  } else if (has_edge(rank_j, rank_k)) {
+    // Subsequent notification: p_k reported before relaying m*, so it
+    // cannot have received m* from p_j (lines 35-36).
+    remove_edge(rank_j, rank_k);
+  }
+
+  return prune(fk);
+}
+
+bool TrackingDigraph::prune(const FailureKnowledge& fk) {
+  if (vertices_.empty()) return false;
+
+  // Line 37: drop vertices with no path from the root.
+  std::vector<NodeId> reachable{root_};
+  std::deque<NodeId> frontier{root_};
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop_front();
+    for (const auto& [from, to] : edges_) {
+      if (from != u) continue;
+      if (!std::binary_search(reachable.begin(), reachable.end(), to)) {
+        reachable.insert(
+            std::lower_bound(reachable.begin(), reachable.end(), to), to);
+        frontier.push_back(to);
+      }
+    }
+  }
+  if (reachable.size() != vertices_.size()) {
+    vertices_ = reachable;
+    std::erase_if(edges_, [&](const auto& e) {
+      return !std::binary_search(vertices_.begin(), vertices_.end(),
+                                 e.first) ||
+             !std::binary_search(vertices_.begin(), vertices_.end(), e.second);
+    });
+  }
+
+  // Line 39: if every remaining vertex is known to have failed, no
+  // non-faulty server has m* — stop tracking it.
+  const bool all_failed = std::all_of(
+      vertices_.begin(), vertices_.end(),
+      [&](NodeId v) { return fk.is_failed(v); });
+  if (all_failed) {
+    clear();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace allconcur::core

@@ -1,0 +1,76 @@
+// Tracking digraphs g_i[p*] — AllConcur's early-termination engine
+// (§2.3, Algorithm 1 lines 21-41).
+//
+// For every peer p*, server p_i tracks the possible whereabouts of p*'s
+// message m*: vertices are servers that (according to p_i's information)
+// may have m*, an edge (p_j, p_k) is the suspicion that p_k received m*
+// directly from p_j. The digraph shrinks as failure notifications arrive;
+// p_i delivers the round once every tracking digraph is empty.
+//
+// All vertices here are *ranks* within the round's View.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+#include "graph/digraph.hpp"
+
+namespace allconcur::core {
+
+/// Context the tracking update needs from the engine: the round's overlay
+/// (over ranks) and the failure notifications received so far.
+class FailureKnowledge {
+ public:
+  virtual ~FailureKnowledge() = default;
+  /// True iff any ⟨FAIL, p, *⟩ was received (p is "known to have failed").
+  virtual bool is_failed(NodeId rank) const = 0;
+  /// True iff ⟨FAIL, p_j, p_k⟩ in particular was received.
+  virtual bool has_pair(NodeId rank_j, NodeId rank_k) const = 0;
+};
+
+class TrackingDigraph {
+ public:
+  TrackingDigraph() = default;
+
+  /// Starts tracking m_root: V = {root}, E = {} (Algorithm 1 input).
+  void reset(NodeId root_rank);
+
+  /// Starts already-resolved (used for the self digraph g_i[p_i]).
+  void reset_empty();
+
+  NodeId root() const { return root_; }
+  bool empty() const { return vertices_.empty(); }
+  std::size_t vertex_count() const { return vertices_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+  bool contains(NodeId rank) const;
+  bool has_edge(NodeId from, NodeId to) const;
+  const std::vector<NodeId>& vertices() const { return vertices_; }
+  const std::vector<std::pair<NodeId, NodeId>>& edges() const {
+    return edges_;
+  }
+
+  /// m_root received: stop tracking (Algorithm 1 line 19).
+  void clear();
+
+  /// Processes ⟨FAIL, p_j, p_k⟩ (lines 24-40): expansion with the FIFO
+  /// queue on the first notification, edge removal on subsequent ones,
+  /// then reachability and all-failed pruning. Returns true if the digraph
+  /// transitioned to empty (the caller tracks the active count).
+  bool on_failure(NodeId rank_j, NodeId rank_k, const graph::Digraph& overlay,
+                  const FailureKnowledge& fk);
+
+ private:
+  void add_vertex(NodeId rank);
+  void add_edge(NodeId from, NodeId to);
+  void remove_edge(NodeId from, NodeId to);
+  bool successors_empty(NodeId rank) const;
+  /// Lines 37-40; returns true if the digraph became empty.
+  bool prune(const FailureKnowledge& fk);
+
+  NodeId root_ = kInvalidNode;
+  std::vector<NodeId> vertices_;                   // sorted
+  std::vector<std::pair<NodeId, NodeId>> edges_;   // sorted
+};
+
+}  // namespace allconcur::core

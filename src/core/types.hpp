@@ -1,0 +1,24 @@
+// Core protocol type aliases.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace allconcur::core {
+
+/// Immutable message payload, shared across all in-process receivers
+/// (zero-copy: the simulator charges for the bytes, nobody copies them).
+using Payload = std::shared_ptr<const std::vector<std::uint8_t>>;
+
+inline Payload make_payload(std::vector<std::uint8_t> bytes) {
+  return std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+}
+
+inline std::size_t payload_size(const Payload& p) {
+  return p ? p->size() : 0;
+}
+
+}  // namespace allconcur::core

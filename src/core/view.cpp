@@ -1,0 +1,81 @@
+#include "core/view.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "graph/gs_digraph.hpp"
+#include "graph/reliability.hpp"
+
+namespace allconcur::core {
+
+GraphBuilder make_default_graph_builder() {
+  return [](std::size_t n) -> graph::Digraph {
+    if (n <= 1) return graph::Digraph(n);
+    if (n < 6) return graph::make_complete(n);
+    const std::size_t d = graph::paper_gs_degree(n);
+    return graph::make_gs_digraph(n, d);
+  };
+}
+
+View::View(std::vector<NodeId> members, const GraphBuilder& builder)
+    : members_(std::move(members)) {
+  std::sort(members_.begin(), members_.end());
+  ALLCONCUR_ASSERT(
+      std::adjacent_find(members_.begin(), members_.end()) == members_.end(),
+      "duplicate member id");
+  overlay_ = builder(members_.size());
+  ALLCONCUR_ASSERT(overlay_.order() == members_.size(),
+                   "graph builder returned wrong order");
+}
+
+NodeId View::member(std::size_t rank) const {
+  ALLCONCUR_ASSERT(rank < members_.size(), "rank out of range");
+  return members_[rank];
+}
+
+std::optional<std::size_t> View::rank_of(NodeId id) const {
+  const auto it = std::lower_bound(members_.begin(), members_.end(), id);
+  if (it == members_.end() || *it != id) return std::nullopt;
+  return static_cast<std::size_t>(it - members_.begin());
+}
+
+std::vector<NodeId> View::successors_of(NodeId id) const {
+  const auto rank = rank_of(id);
+  ALLCONCUR_ASSERT(rank.has_value(), "not a member");
+  std::vector<NodeId> out;
+  for (NodeId r : overlay_.successors(static_cast<NodeId>(*rank))) {
+    out.push_back(members_[r]);
+  }
+  return out;
+}
+
+std::vector<NodeId> View::predecessors_of(NodeId id) const {
+  const auto rank = rank_of(id);
+  ALLCONCUR_ASSERT(rank.has_value(), "not a member");
+  std::vector<NodeId> out;
+  for (NodeId r : overlay_.predecessors(static_cast<NodeId>(*rank))) {
+    out.push_back(members_[r]);
+  }
+  return out;
+}
+
+View View::next(const std::vector<NodeId>& removed,
+                const std::vector<NodeId>& added,
+                const GraphBuilder& builder) const {
+  std::vector<NodeId> next_members;
+  next_members.reserve(members_.size() + added.size());
+  for (NodeId m : members_) {
+    if (std::find(removed.begin(), removed.end(), m) == removed.end()) {
+      next_members.push_back(m);
+    }
+  }
+  for (NodeId a : added) {
+    if (std::find(next_members.begin(), next_members.end(), a) ==
+        next_members.end()) {
+      next_members.push_back(a);
+    }
+  }
+  return View(std::move(next_members), builder);
+}
+
+}  // namespace allconcur::core

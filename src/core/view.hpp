@@ -1,0 +1,55 @@
+// Membership view: the set of servers participating in a round and the
+// overlay digraph G connecting them.
+//
+// Wire messages carry stable global NodeIds; the overlay digraph is built
+// over dense ranks [0, n). A View owns the (sorted) member list, the
+// rank <-> id mapping and the digraph, and is immutable — membership
+// changes build a new View at a round boundary (§3, iterating AllConcur).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace allconcur::core {
+
+/// Builds the overlay for a given membership size. The default builder
+/// (see make_default_graph_builder) uses GS(n, d) with the paper's Table 3
+/// degrees, falling back to a complete digraph for n < 6.
+using GraphBuilder = std::function<graph::Digraph(std::size_t n)>;
+
+GraphBuilder make_default_graph_builder();
+
+class View {
+ public:
+  /// `members` need not be sorted; duplicates are asserted away.
+  View(std::vector<NodeId> members, const GraphBuilder& builder);
+
+  std::size_t size() const { return members_.size(); }
+  const std::vector<NodeId>& members() const { return members_; }
+  bool contains(NodeId id) const { return rank_of(id).has_value(); }
+
+  NodeId member(std::size_t rank) const;
+  std::optional<std::size_t> rank_of(NodeId id) const;
+
+  /// Overlay digraph; vertex v of the digraph is rank v.
+  const graph::Digraph& overlay() const { return overlay_; }
+
+  /// Successors / predecessors of a member, as global ids.
+  std::vector<NodeId> successors_of(NodeId id) const;
+  std::vector<NodeId> predecessors_of(NodeId id) const;
+
+  /// Derives the next-round view: current minus `removed` plus `added`.
+  View next(const std::vector<NodeId>& removed,
+            const std::vector<NodeId>& added,
+            const GraphBuilder& builder) const;
+
+ private:
+  std::vector<NodeId> members_;  // sorted
+  graph::Digraph overlay_;
+};
+
+}  // namespace allconcur::core

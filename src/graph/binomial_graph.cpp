@@ -1,0 +1,43 @@
+#include "graph/binomial_graph.hpp"
+
+#include <set>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace allconcur::graph {
+namespace {
+
+std::set<std::size_t> binomial_offsets(std::size_t n) {
+  std::set<std::size_t> offsets;
+  const std::uint32_t lmax = floor_log2(n);
+  for (std::uint32_t l = 0; l <= lmax; ++l) {
+    const std::size_t step = (std::size_t{1} << l) % n;
+    if (step != 0) {
+      offsets.insert(step);
+      offsets.insert(n - step);
+    }
+  }
+  return offsets;
+}
+
+}  // namespace
+
+Digraph make_binomial_graph(std::size_t n) {
+  ALLCONCUR_ASSERT(n >= 3, "binomial graph needs n >= 3");
+  Digraph g(n);
+  const auto offsets = binomial_offsets(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t off : offsets) {
+      g.add_edge_if_absent(u, static_cast<NodeId>((u + off) % n));
+    }
+  }
+  return g;
+}
+
+std::size_t binomial_graph_degree(std::size_t n) {
+  ALLCONCUR_ASSERT(n >= 3, "binomial graph needs n >= 3");
+  return binomial_offsets(n).size();
+}
+
+}  // namespace allconcur::graph

@@ -1,0 +1,21 @@
+// Binomial graphs (Angskun, Bosilca & Dongarra 2007) — the overlay used by
+// the paper's running example (§2.3) and the comparison topology of §4.4.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/digraph.hpp"
+
+namespace allconcur::graph {
+
+/// Binomial graph on n vertices: p_i and p_j are connected (both
+/// directions) iff j = i ± 2^l (mod n) for 0 <= l <= floor(log2 n).
+/// Offsets that coincide mod n are deduplicated, so e.g. n=12 yields the
+/// 6-regular digraph of the paper's §4.2.3 example.
+Digraph make_binomial_graph(std::size_t n);
+
+/// Degree of the binomial graph on n vertices without building it
+/// (needed for the reliability curves of Fig. 5 up to n = 2^15).
+std::size_t binomial_graph_degree(std::size_t n);
+
+}  // namespace allconcur::graph

@@ -1,0 +1,192 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace allconcur::graph {
+namespace {
+
+// Compact Dinic max-flow specialized for unit vertex capacities. The
+// vertex-split network has node v_in = 2v, v_out = 2v+1; the internal arc
+// v_in -> v_out has capacity 1 (except for source/sink, which are
+// uncapacitated); each digraph edge (u,v) becomes u_out -> v_in with
+// capacity "infinity" (values are tiny, so 1'000'000 suffices).
+class Dinic {
+ public:
+  explicit Dinic(std::size_t nodes) : head_(nodes, -1) {}
+
+  void add_arc(int u, int v, int cap) {
+    arcs_.push_back({v, head_[static_cast<std::size_t>(u)], cap});
+    head_[static_cast<std::size_t>(u)] = static_cast<int>(arcs_.size()) - 1;
+    arcs_.push_back({u, head_[static_cast<std::size_t>(v)], 0});
+    head_[static_cast<std::size_t>(v)] = static_cast<int>(arcs_.size()) - 1;
+  }
+
+  int max_flow(int s, int t, int stop_at = std::numeric_limits<int>::max()) {
+    int flow = 0;
+    while (flow < stop_at && bfs(s, t)) {
+      iter_ = head_;
+      int pushed;
+      while (flow < stop_at && (pushed = dfs(s, t, stop_at - flow)) > 0) {
+        flow += pushed;
+      }
+    }
+    return flow;
+  }
+
+ private:
+  struct Arc {
+    int to;
+    int next;
+    int cap;
+  };
+
+  bool bfs(int s, int t) {
+    level_.assign(head_.size(), -1);
+    level_[static_cast<std::size_t>(s)] = 0;
+    std::vector<int> queue{s};
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const int u = queue[qi];
+      for (int a = head_[static_cast<std::size_t>(u)]; a != -1;
+           a = arcs_[static_cast<std::size_t>(a)].next) {
+        const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+        if (arc.cap > 0 && level_[static_cast<std::size_t>(arc.to)] < 0) {
+          level_[static_cast<std::size_t>(arc.to)] = level_[static_cast<std::size_t>(u)] + 1;
+          queue.push_back(arc.to);
+        }
+      }
+    }
+    return level_[static_cast<std::size_t>(t)] >= 0;
+  }
+
+  int dfs(int u, int t, int limit) {
+    if (u == t || limit == 0) return limit;
+    for (int& a = iter_[static_cast<std::size_t>(u)]; a != -1;
+         a = arcs_[static_cast<std::size_t>(a)].next) {
+      Arc& arc = arcs_[static_cast<std::size_t>(a)];
+      if (arc.cap > 0 &&
+          level_[static_cast<std::size_t>(arc.to)] == level_[static_cast<std::size_t>(u)] + 1) {
+        const int pushed = dfs(arc.to, t, std::min(limit, arc.cap));
+        if (pushed > 0) {
+          arc.cap -= pushed;
+          arcs_[static_cast<std::size_t>(a ^ 1)].cap += pushed;
+          return pushed;
+        }
+      }
+    }
+    level_[static_cast<std::size_t>(u)] = -1;
+    return 0;
+  }
+
+  std::vector<int> head_;
+  std::vector<Arc> arcs_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+constexpr int kInfCap = 1'000'000;
+
+std::size_t local_connectivity_capped(const Digraph& g, NodeId u, NodeId v,
+                                      int cap) {
+  const std::size_t n = g.order();
+  Dinic flow(2 * n);
+  for (NodeId w = 0; w < n; ++w) {
+    const int c = (w == u || w == v) ? kInfCap : 1;
+    flow.add_arc(static_cast<int>(2 * w), static_cast<int>(2 * w + 1), c);
+  }
+  // Edge arcs carry capacity 1: no two internally-disjoint paths can share
+  // an edge, and a direct (u,v) edge must count as exactly one path.
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b : g.successors(a)) {
+      flow.add_arc(static_cast<int>(2 * a + 1), static_cast<int>(2 * b), 1);
+    }
+  }
+  return static_cast<std::size_t>(
+      flow.max_flow(static_cast<int>(2 * u + 1), static_cast<int>(2 * v), cap));
+}
+
+}  // namespace
+
+std::size_t local_vertex_connectivity(const Digraph& g, NodeId u, NodeId v) {
+  ALLCONCUR_ASSERT(u != v, "local connectivity needs distinct vertices");
+  ALLCONCUR_ASSERT(u < g.order() && v < g.order(), "vertex out of range");
+  return local_connectivity_capped(g, u, v, kInfCap);
+}
+
+std::size_t vertex_connectivity(const Digraph& g) {
+  const std::size_t n = g.order();
+  ALLCONCUR_ASSERT(n >= 2, "connectivity needs at least two vertices");
+
+  // Minimum degree is always an upper bound on k(G).
+  std::size_t best = n - 1;
+  for (NodeId v = 0; v < n; ++v) {
+    best = std::min({best, g.out_degree(v), g.in_degree(v)});
+  }
+
+  const NodeId pivot = 0;
+  std::vector<NodeId> candidates{pivot};
+  for (NodeId s : g.successors(pivot)) candidates.push_back(s);
+
+  for (NodeId c : candidates) {
+    for (NodeId other = 0; other < n; ++other) {
+      if (other == c) continue;
+      if (!g.has_edge(c, other)) {
+        best = std::min(best, local_connectivity_capped(
+                                  g, c, other, static_cast<int>(best)));
+      }
+      if (!g.has_edge(other, c)) {
+        best = std::min(best, local_connectivity_capped(
+                                  g, other, c, static_cast<int>(best)));
+      }
+      if (best == 0) return 0;
+    }
+  }
+  return best;
+}
+
+bool is_optimally_connected(const Digraph& g) {
+  return vertex_connectivity(g) == g.degree();
+}
+
+namespace {
+
+std::size_t edge_flow_capped(const Digraph& g, NodeId u, NodeId v, int cap) {
+  // No vertex splitting: nodes are nodes, every edge carries capacity 1.
+  Dinic flow(g.order());
+  for (NodeId a = 0; a < g.order(); ++a) {
+    for (NodeId b : g.successors(a)) {
+      flow.add_arc(static_cast<int>(a), static_cast<int>(b), 1);
+    }
+  }
+  return static_cast<std::size_t>(
+      flow.max_flow(static_cast<int>(u), static_cast<int>(v), cap));
+}
+
+}  // namespace
+
+std::size_t local_edge_connectivity(const Digraph& g, NodeId u, NodeId v) {
+  ALLCONCUR_ASSERT(u != v, "edge connectivity needs distinct vertices");
+  ALLCONCUR_ASSERT(u < g.order() && v < g.order(), "vertex out of range");
+  return edge_flow_capped(g, u, v, kInfCap);
+}
+
+std::size_t edge_connectivity(const Digraph& g) {
+  const std::size_t n = g.order();
+  ALLCONCUR_ASSERT(n >= 2, "edge connectivity needs at least two vertices");
+  std::size_t best = n * n;  // above any possible cut
+  const NodeId pivot = 0;
+  for (NodeId v = 1; v < n; ++v) {
+    best = std::min(best, edge_flow_capped(g, pivot, v,
+                                           static_cast<int>(best)));
+    if (best == 0) return 0;
+    best = std::min(best, edge_flow_capped(g, v, pivot,
+                                           static_cast<int>(best)));
+    if (best == 0) return 0;
+  }
+  return best;
+}
+
+}  // namespace allconcur::graph

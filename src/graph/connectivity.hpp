@@ -1,0 +1,38 @@
+// Vertex connectivity k(G) via Menger's theorem (§2.1.1): the number of
+// internally vertex-disjoint paths between u and v equals the max-flow on
+// the vertex-split unit-capacity network. AllConcur's resilience bound is
+// f < k(G), so these routines gate every deployment configuration.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/digraph.hpp"
+
+namespace allconcur::graph {
+
+/// Maximum number of internally vertex-disjoint u->v paths.
+/// u != v required; adjacency is allowed (a direct edge counts as a path
+/// with no internal vertices).
+std::size_t local_vertex_connectivity(const Digraph& g, NodeId u, NodeId v);
+
+/// Exact vertex connectivity k(G).
+///
+/// Uses the standard reduction: a minimum vertex cut either avoids a chosen
+/// pivot v0 — then some non-adjacent pair involving v0 realizes it — or
+/// contains v0, in which case a successor of v0 outside the cut realizes it;
+/// if all successors lie in the cut then k(G) = d_min which is always an
+/// upper bound. Cost: O(d * n) max-flow computations.
+std::size_t vertex_connectivity(const Digraph& g);
+
+/// True iff k(G) == d(G) (paper's "optimally connected").
+bool is_optimally_connected(const Digraph& g);
+
+/// Maximum number of edge-disjoint u->v paths (edge version of Menger).
+std::size_t local_edge_connectivity(const Digraph& g, NodeId u, NodeId v);
+
+/// Exact edge connectivity λ(G) (§3.3.1: the number of link losses the
+/// overlay survives without partitioning). Any global minimum edge cut
+/// separates a fixed pivot from somebody, so 2(n-1) max-flows suffice.
+std::size_t edge_connectivity(const Digraph& g);
+
+}  // namespace allconcur::graph

@@ -1,0 +1,87 @@
+#include "graph/debruijn.hpp"
+
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace allconcur::graph {
+
+Multidigraph make_generalized_de_bruijn(std::size_t m, std::size_t d) {
+  ALLCONCUR_ASSERT(m >= 2, "GB(m,d) requires m >= 2");
+  ALLCONCUR_ASSERT(d >= 1, "GB(m,d) requires d >= 1");
+  Multidigraph g(m);
+  for (NodeId u = 0; u < m; ++u) {
+    for (std::size_t a = 0; a < d; ++a) {
+      g.add_edge(u, static_cast<NodeId>((u * d + a) % m));
+    }
+  }
+  return g;
+}
+
+Multidigraph make_de_bruijn_star(std::size_t m, std::size_t d) {
+  Multidigraph g = make_generalized_de_bruijn(m, d);
+
+  std::vector<std::size_t> loops(m);
+  for (NodeId v = 0; v < m; ++v) loops[v] = g.self_loop_count(v);
+
+  const std::size_t base = d / m;  // every vertex has at least this many
+  for (NodeId v = 0; v < m; ++v) {
+    ALLCONCUR_ASSERT(loops[v] == base || loops[v] == base + 1,
+                     "GB self-loop count outside {floor(d/m), ceil(d/m)}");
+  }
+
+  // floor(d/m) cycles through all vertices, in index order.
+  for (std::size_t j = 0; j < base; ++j) {
+    for (NodeId v = 0; v < m; ++v) {
+      g.remove_one_self_loop(v);
+      g.add_edge(v, static_cast<NodeId>((v + 1) % m));
+    }
+  }
+
+  // One extra cycle through the vertices with ceil(d/m) self-loops.
+  if (d % m != 0) {
+    std::vector<NodeId> extra;
+    for (NodeId v = 0; v < m; ++v) {
+      if (loops[v] == base + 1) extra.push_back(v);
+    }
+    ALLCONCUR_ASSERT(extra.size() >= 2,
+                     "extra self-loop cycle needs at least two vertices");
+    for (std::size_t i = 0; i < extra.size(); ++i) {
+      g.remove_one_self_loop(extra[i]);
+      g.add_edge(extra[i], extra[(i + 1) % extra.size()]);
+    }
+  }
+
+  ALLCONCUR_ASSERT(g.is_regular(d), "G*B(m,d) must be d-regular");
+  for (NodeId v = 0; v < m; ++v) {
+    ALLCONCUR_ASSERT(g.self_loop_count(v) == 0,
+                     "G*B(m,d) must have no self-loops");
+  }
+  return g;
+}
+
+Digraph line_digraph(const Multidigraph& g) {
+  Multidigraph canon = g;
+  canon.canonicalize();
+  const auto& edges = canon.edges();
+
+  // Bucket edge ids by tail vertex for O(E * d) construction.
+  std::vector<std::vector<std::size_t>> by_tail(canon.order());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    ALLCONCUR_ASSERT(edges[i].tail != edges[i].head,
+                     "line digraph input must have no self-loops");
+    by_tail[edges[i].tail].push_back(i);
+  }
+
+  Digraph l(edges.size());
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    for (std::size_t j : by_tail[edges[i].head]) {
+      // Parallel edges in G map to distinct vertices of L, so (i,j) pairs
+      // are unique and L is simple; i == j cannot happen (no self-loops).
+      l.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(j));
+    }
+  }
+  return l;
+}
+
+}  // namespace allconcur::graph

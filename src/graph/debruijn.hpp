@@ -1,0 +1,30 @@
+// Generalized de Bruijn digraphs and the line-digraph operation — the two
+// building blocks of the GS(n,d) construction (§4.4, following Soneoka,
+// Imase & Manabe 1996).
+#pragma once
+
+#include <cstddef>
+
+#include "graph/digraph.hpp"
+#include "graph/multidigraph.hpp"
+
+namespace allconcur::graph {
+
+/// Generalized de Bruijn digraph GB(m,d) (Du & Hwang): vertices 0..m-1,
+/// edges u -> (u*d + a) mod m for a = 0..d-1. Returned as a multigraph
+/// because for d > m the arithmetic produces parallel edges and self-loops.
+Multidigraph make_generalized_de_bruijn(std::size_t m, std::size_t d);
+
+/// G*B(m,d): GB(m,d) with self-loops replaced by cycles, exactly as in the
+/// paper — floor(d/m) cycles through all vertices plus, when m does not
+/// divide d, one extra cycle through the vertices holding ceil(d/m)
+/// self-loops. The result is d-regular with no self-loops (possibly with
+/// parallel edges).
+Multidigraph make_de_bruijn_star(std::size_t m, std::size_t d);
+
+/// Line digraph L(G): one vertex per edge of G (in canonical edge order);
+/// edge (e1, e2) iff head(e1) == tail(e2). Requires G to have no
+/// self-loops; the result is always a simple digraph.
+Digraph line_digraph(const Multidigraph& g);
+
+}  // namespace allconcur::graph

@@ -1,0 +1,155 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace allconcur::graph {
+
+Digraph::Digraph(std::size_t n) : succ_(n), pred_(n) {}
+
+namespace {
+
+bool sorted_contains(const std::vector<NodeId>& v, NodeId x) {
+  return std::binary_search(v.begin(), v.end(), x);
+}
+
+void sorted_insert(std::vector<NodeId>& v, NodeId x) {
+  v.insert(std::upper_bound(v.begin(), v.end(), x), x);
+}
+
+}  // namespace
+
+void Digraph::add_edge(NodeId u, NodeId v) {
+  const bool inserted = add_edge_if_absent(u, v);
+  ALLCONCUR_ASSERT(inserted, "duplicate edge");
+}
+
+bool Digraph::add_edge_if_absent(NodeId u, NodeId v) {
+  ALLCONCUR_ASSERT(u < order() && v < order(), "vertex id out of range");
+  ALLCONCUR_ASSERT(u != v, "self-loops are not allowed in an overlay");
+  if (sorted_contains(succ_[u], v)) return false;
+  sorted_insert(succ_[u], v);
+  sorted_insert(pred_[v], u);
+  ++edges_;
+  return true;
+}
+
+void Digraph::remove_edge(NodeId u, NodeId v) {
+  ALLCONCUR_ASSERT(u < order() && v < order(), "vertex id out of range");
+  auto it = std::lower_bound(succ_[u].begin(), succ_[u].end(), v);
+  ALLCONCUR_ASSERT(it != succ_[u].end() && *it == v, "edge not present");
+  succ_[u].erase(it);
+  auto jt = std::lower_bound(pred_[v].begin(), pred_[v].end(), u);
+  ALLCONCUR_ASSERT(jt != pred_[v].end() && *jt == u, "edge not present");
+  pred_[v].erase(jt);
+  --edges_;
+}
+
+bool Digraph::has_edge(NodeId u, NodeId v) const {
+  ALLCONCUR_ASSERT(u < order() && v < order(), "vertex id out of range");
+  return sorted_contains(succ_[u], v);
+}
+
+const std::vector<NodeId>& Digraph::successors(NodeId v) const {
+  ALLCONCUR_ASSERT(v < order(), "vertex id out of range");
+  return succ_[v];
+}
+
+const std::vector<NodeId>& Digraph::predecessors(NodeId v) const {
+  ALLCONCUR_ASSERT(v < order(), "vertex id out of range");
+  return pred_[v];
+}
+
+std::size_t Digraph::degree() const {
+  std::size_t d = 0;
+  for (std::size_t v = 0; v < order(); ++v) {
+    d = std::max({d, succ_[v].size(), pred_[v].size()});
+  }
+  return d;
+}
+
+bool Digraph::is_regular() const {
+  if (order() == 0) return true;
+  const std::size_t d = degree();
+  for (std::size_t v = 0; v < order(); ++v) {
+    if (succ_[v].size() != d || pred_[v].size() != d) return false;
+  }
+  return true;
+}
+
+Digraph Digraph::transpose() const {
+  Digraph t(order());
+  t.succ_ = pred_;
+  t.pred_ = succ_;
+  t.edges_ = edges_;
+  return t;
+}
+
+Digraph Digraph::without(const std::vector<NodeId>& removed) const {
+  std::vector<bool> gone(order(), false);
+  for (NodeId v : removed) {
+    ALLCONCUR_ASSERT(v < order(), "vertex id out of range");
+    gone[v] = true;
+  }
+  Digraph g(order());
+  for (std::size_t u = 0; u < order(); ++u) {
+    if (gone[u]) continue;
+    for (NodeId v : succ_[u]) {
+      if (!gone[v]) g.add_edge(static_cast<NodeId>(u), v);
+    }
+  }
+  return g;
+}
+
+std::string Digraph::describe() const {
+  std::string s = "n=" + std::to_string(order()) +
+                  " m=" + std::to_string(edge_count()) +
+                  " d=" + std::to_string(degree());
+  if (is_regular()) s += " regular";
+  return s;
+}
+
+Digraph make_complete(std::size_t n) {
+  Digraph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u != v) g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Digraph make_ring(std::size_t n) {
+  ALLCONCUR_ASSERT(n >= 2, "ring needs at least 2 vertices");
+  Digraph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    g.add_edge(u, static_cast<NodeId>((u + 1) % n));
+  }
+  return g;
+}
+
+Digraph make_bidirectional_ring(std::size_t n) {
+  ALLCONCUR_ASSERT(n >= 3, "bidirectional ring needs at least 3 vertices");
+  Digraph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    g.add_edge(u, static_cast<NodeId>((u + 1) % n));
+    g.add_edge(static_cast<NodeId>((u + 1) % n), u);
+  }
+  return g;
+}
+
+Digraph make_hypercube(std::size_t n) {
+  ALLCONCUR_ASSERT(n >= 2 && (n & (n - 1)) == 0, "hypercube needs n = 2^k");
+  const std::uint32_t dims = floor_log2(n);
+  Digraph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::uint32_t b = 0; b < dims; ++b) {
+      g.add_edge(u, u ^ (NodeId{1} << b));
+    }
+  }
+  return g;
+}
+
+}  // namespace allconcur::graph

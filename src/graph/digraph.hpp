@@ -1,0 +1,83 @@
+// Simple digraph G = (V, E) — the overlay network abstraction of §2.1.1.
+//
+// Vertices are dense ids [0, n). Both successor (v+) and predecessor (v-)
+// adjacency is kept sorted so that membership tests are O(log d) and
+// iteration order is deterministic, which the protocol relies on for
+// reproducible runs.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace allconcur::graph {
+
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(std::size_t n);
+
+  std::size_t order() const { return succ_.size(); }  ///< |V(G)|
+  std::size_t edge_count() const { return edges_; }   ///< |E(G)|
+
+  /// Adds (u,v). Self-loops and duplicates are rejected with an assertion —
+  /// a fault-tolerant overlay never wants either.
+  void add_edge(NodeId u, NodeId v);
+
+  /// Adds (u,v) if absent; returns true if the edge was inserted.
+  bool add_edge_if_absent(NodeId u, NodeId v);
+
+  /// Removes (u,v); asserts the edge exists.
+  void remove_edge(NodeId u, NodeId v);
+
+  bool has_edge(NodeId u, NodeId v) const;
+
+  const std::vector<NodeId>& successors(NodeId v) const;    ///< v+(G)
+  const std::vector<NodeId>& predecessors(NodeId v) const;  ///< v-(G)
+
+  std::size_t out_degree(NodeId v) const { return successors(v).size(); }
+  std::size_t in_degree(NodeId v) const { return predecessors(v).size(); }
+
+  /// d(G): maximum in- or out-degree over all vertices (paper notation).
+  std::size_t degree() const;
+
+  /// True iff every vertex has in-degree == out-degree == d(G).
+  bool is_regular() const;
+
+  /// Reverse of every edge (used by the ⋄P backward broadcast of §3.3.2).
+  Digraph transpose() const;
+
+  /// G_F of §2.1.1: the subgraph induced by removing `removed` (sorted or
+  /// not); vertex ids are preserved, removed vertices keep existing but
+  /// become isolated. `alive_out` (optional) receives the surviving ids.
+  Digraph without(const std::vector<NodeId>& removed) const;
+
+  /// Human-readable one-line summary ("n=16 m=64 d=4 regular").
+  std::string describe() const;
+
+  bool operator==(const Digraph& other) const {
+    return succ_ == other.succ_;
+  }
+
+ private:
+  std::vector<std::vector<NodeId>> succ_;
+  std::vector<std::vector<NodeId>> pred_;
+  std::size_t edges_ = 0;
+};
+
+/// Complete digraph K_n: every ordered pair (u,v), u != v.
+Digraph make_complete(std::size_t n);
+
+/// Directed ring 0 -> 1 -> ... -> n-1 -> 0.
+Digraph make_ring(std::size_t n);
+
+/// Bidirectional ring (each edge in both directions).
+Digraph make_bidirectional_ring(std::size_t n);
+
+/// Binary hypercube on n = 2^k vertices; edges in both directions across
+/// every dimension (the comparison topology of §4.4).
+Digraph make_hypercube(std::size_t n);
+
+}  // namespace allconcur::graph

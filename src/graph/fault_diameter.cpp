@@ -1,0 +1,276 @@
+#include "graph/fault_diameter.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/assert.hpp"
+#include "graph/properties.hpp"
+
+namespace allconcur::graph {
+namespace {
+
+// Min-cost max-flow with successive shortest paths (Dijkstra + Johnson
+// potentials). Small and allocation-friendly: the disjoint-paths networks
+// have 2n nodes and n*d + n arcs with flow value <= f+1.
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(std::size_t nodes)
+      : head_(nodes, -1), potential_(nodes, 0) {}
+
+  void add_arc(int u, int v, int cap, int cost) {
+    arcs_.push_back({v, head_[static_cast<std::size_t>(u)], cap, cost});
+    head_[static_cast<std::size_t>(u)] = static_cast<int>(arcs_.size()) - 1;
+    arcs_.push_back({u, head_[static_cast<std::size_t>(v)], 0, -cost});
+    head_[static_cast<std::size_t>(v)] = static_cast<int>(arcs_.size()) - 1;
+  }
+
+  /// Sends up to `want` units s->t along successively shortest paths.
+  /// Returns the units actually sent.
+  int send(int s, int t, int want) {
+    int sent = 0;
+    while (sent < want) {
+      if (!dijkstra(s, t)) break;
+      // Each augmenting path carries exactly 1 unit (unit vertex caps).
+      augment(s, t);
+      ++sent;
+    }
+    return sent;
+  }
+
+  /// Flow on arc id (forward arcs have even ids in insertion order).
+  int flow_on(int arc_id) const {
+    return arcs_[static_cast<std::size_t>(arc_id ^ 1)].cap;
+  }
+
+  int head_of(int arc_id) const {
+    return arcs_[static_cast<std::size_t>(arc_id)].to;
+  }
+
+  int first_arc(int u) const { return head_[static_cast<std::size_t>(u)]; }
+  int next_arc(int a) const { return arcs_[static_cast<std::size_t>(a)].next; }
+  bool is_forward(int a) const { return (a & 1) == 0; }
+
+  /// Consumes one unit of flow on the arc (used by path decomposition).
+  void consume(int arc_id) {
+    arcs_[static_cast<std::size_t>(arc_id ^ 1)].cap -= 1;
+  }
+
+ private:
+  struct Arc {
+    int to;
+    int next;
+    int cap;
+    int cost;
+  };
+
+  bool dijkstra(int s, int t) {
+    const std::size_t n = head_.size();
+    dist_.assign(n, std::numeric_limits<long long>::max());
+    parent_arc_.assign(n, -1);
+    using Item = std::pair<long long, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    dist_[static_cast<std::size_t>(s)] = 0;
+    pq.emplace(0, s);
+    while (!pq.empty()) {
+      const auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist_[static_cast<std::size_t>(u)]) continue;
+      for (int a = head_[static_cast<std::size_t>(u)]; a != -1;
+           a = arcs_[static_cast<std::size_t>(a)].next) {
+        const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+        if (arc.cap <= 0) continue;
+        const long long nd = d + arc.cost +
+                             potential_[static_cast<std::size_t>(u)] -
+                             potential_[static_cast<std::size_t>(arc.to)];
+        if (nd < dist_[static_cast<std::size_t>(arc.to)]) {
+          dist_[static_cast<std::size_t>(arc.to)] = nd;
+          parent_arc_[static_cast<std::size_t>(arc.to)] = a;
+          pq.emplace(nd, arc.to);
+        }
+      }
+    }
+    if (dist_[static_cast<std::size_t>(t)] ==
+        std::numeric_limits<long long>::max()) {
+      return false;
+    }
+    for (std::size_t v = 0; v < n; ++v) {
+      if (dist_[v] != std::numeric_limits<long long>::max()) {
+        potential_[v] += dist_[v];
+      }
+    }
+    return true;
+  }
+
+  void augment(int s, int t) {
+    for (int v = t; v != s;) {
+      const int a = parent_arc_[static_cast<std::size_t>(v)];
+      arcs_[static_cast<std::size_t>(a)].cap -= 1;
+      arcs_[static_cast<std::size_t>(a ^ 1)].cap += 1;
+      v = arcs_[static_cast<std::size_t>(a ^ 1)].to;
+    }
+  }
+
+  std::vector<int> head_;
+  std::vector<long long> potential_;
+  std::vector<Arc> arcs_;
+  std::vector<long long> dist_;
+  std::vector<int> parent_arc_;
+};
+
+}  // namespace
+
+std::optional<DisjointPaths> min_sum_disjoint_paths(const Digraph& g,
+                                                    NodeId u, NodeId v,
+                                                    std::size_t k) {
+  ALLCONCUR_ASSERT(u != v, "disjoint paths need distinct endpoints");
+  ALLCONCUR_ASSERT(u < g.order() && v < g.order(), "vertex out of range");
+  ALLCONCUR_ASSERT(k >= 1, "need at least one path");
+
+  const std::size_t n = g.order();
+  MinCostFlow mcf(2 * n);
+  // v_in = 2w, v_out = 2w+1; internal arcs cap 1 cost 0 (endpoints
+  // uncapacitated); edge arcs cap 1 cost 1.
+  for (NodeId w = 0; w < n; ++w) {
+    const int cap = (w == u || w == v) ? static_cast<int>(k) : 1;
+    mcf.add_arc(static_cast<int>(2 * w), static_cast<int>(2 * w + 1), cap, 0);
+  }
+  for (NodeId a = 0; a < n; ++a) {
+    for (NodeId b : g.successors(a)) {
+      mcf.add_arc(static_cast<int>(2 * a + 1), static_cast<int>(2 * b), 1, 1);
+    }
+  }
+
+  const int sent = mcf.send(static_cast<int>(2 * u + 1),
+                            static_cast<int>(2 * v), static_cast<int>(k));
+  if (sent < static_cast<int>(k)) return std::nullopt;
+
+  // Decompose the flow into k paths by walking forward arcs with flow.
+  DisjointPaths result;
+  std::size_t total = 0;
+  for (std::size_t p = 0; p < k; ++p) {
+    std::vector<NodeId> path{u};
+    int cur = static_cast<int>(2 * u + 1);  // u_out
+    while (cur != static_cast<int>(2 * v)) {
+      int chosen = -1;
+      for (int a = mcf.first_arc(cur); a != -1; a = mcf.next_arc(a)) {
+        if (mcf.is_forward(a) && mcf.flow_on(a) > 0) {
+          chosen = a;
+          break;
+        }
+      }
+      ALLCONCUR_ASSERT(chosen != -1, "flow decomposition lost the path");
+      mcf.consume(chosen);
+      cur = mcf.head_of(chosen);
+      if ((cur & 1) == 0) {
+        // Arrived at some w_in: record the vertex, step through w_in->w_out
+        // unless we just reached the sink.
+        const NodeId w = static_cast<NodeId>(cur / 2);
+        path.push_back(w);
+        if (cur == static_cast<int>(2 * v)) break;
+      }
+    }
+    total += path.size() - 1;
+    result.max_length = std::max(result.max_length, path.size() - 1);
+    result.paths.push_back(std::move(path));
+  }
+  result.avg_length = static_cast<double>(total) / static_cast<double>(k);
+  return result;
+}
+
+std::optional<std::size_t> fault_diameter_bound(const Digraph& g,
+                                                std::size_t f) {
+  std::size_t best = 0;
+  for (NodeId u = 0; u < g.order(); ++u) {
+    for (NodeId v = 0; v < g.order(); ++v) {
+      if (u == v) continue;
+      const auto dp = min_sum_disjoint_paths(g, u, v, f + 1);
+      if (!dp) return std::nullopt;
+      best = std::max(best, dp->max_length);
+    }
+  }
+  return best;
+}
+
+std::optional<std::size_t> fault_diameter_bound_sampled(const Digraph& g,
+                                                        std::size_t f,
+                                                        std::size_t pairs,
+                                                        Rng& rng) {
+  std::size_t best = 0;
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.next_below(g.order()));
+    NodeId v;
+    do {
+      v = static_cast<NodeId>(rng.next_below(g.order()));
+    } while (v == u);
+    const auto dp = min_sum_disjoint_paths(g, u, v, f + 1);
+    if (!dp) return std::nullopt;
+    best = std::max(best, dp->max_length);
+  }
+  return best;
+}
+
+namespace {
+
+std::optional<std::size_t> diameter_after_removal(
+    const Digraph& g, const std::vector<NodeId>& removed) {
+  const Digraph gf = g.without(removed);
+  std::vector<NodeId> alive;
+  std::vector<bool> gone(g.order(), false);
+  for (NodeId r : removed) gone[r] = true;
+  for (NodeId v = 0; v < g.order(); ++v) {
+    if (!gone[v]) alive.push_back(v);
+  }
+  return diameter_among(gf, alive);
+}
+
+}  // namespace
+
+std::optional<std::size_t> fault_diameter_exact(const Digraph& g,
+                                                std::size_t f) {
+  const std::size_t n = g.order();
+  ALLCONCUR_ASSERT(f < n, "cannot remove every vertex");
+  std::vector<NodeId> subset(f);
+  std::size_t best = 0;
+
+  // Enumerate all size-f subsets with a manual odometer.
+  std::vector<std::size_t> idx(f);
+  for (std::size_t i = 0; i < f; ++i) idx[i] = i;
+  for (;;) {
+    for (std::size_t i = 0; i < f; ++i) subset[i] = static_cast<NodeId>(idx[i]);
+    const auto d = diameter_after_removal(g, subset);
+    if (!d) return std::nullopt;
+    best = std::max(best, *d);
+    // Advance odometer.
+    std::size_t pos = f;
+    while (pos > 0 && idx[pos - 1] == n - (f - (pos - 1))) --pos;
+    if (pos == 0) break;
+    ++idx[pos - 1];
+    for (std::size_t i = pos; i < f; ++i) idx[i] = idx[i - 1] + 1;
+  }
+  return best;
+}
+
+std::optional<std::size_t> fault_diameter_sampled(const Digraph& g,
+                                                  std::size_t f,
+                                                  std::size_t samples,
+                                                  Rng& rng) {
+  const std::size_t n = g.order();
+  ALLCONCUR_ASSERT(f < n, "cannot remove every vertex");
+  std::size_t best = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    std::vector<NodeId> subset;
+    while (subset.size() < f) {
+      const NodeId v = static_cast<NodeId>(rng.next_below(n));
+      if (std::find(subset.begin(), subset.end(), v) == subset.end()) {
+        subset.push_back(v);
+      }
+    }
+    const auto d = diameter_after_removal(g, subset);
+    if (!d) return std::nullopt;
+    best = std::max(best, *d);
+  }
+  return best;
+}
+
+}  // namespace allconcur::graph

@@ -1,0 +1,57 @@
+// Fault diameter D_f(G,f) estimation (§4.2.3).
+//
+// The paper's route: the min-max (f+1)-disjoint-paths problem is strongly
+// NP-complete, so approximate δ_f with the *min-sum* (f+1) vertex-disjoint
+// paths problem, solved polynomially as a min-cost flow (successive
+// shortest paths). δ̂_f = longest of the min-sum paths bounds D_f(G,f)
+// from above; the min-sum average bounds δ_f from below (Eq. 1).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "graph/digraph.hpp"
+
+namespace allconcur::graph {
+
+struct DisjointPaths {
+  /// k vertex-disjoint u->v paths (endpoints included) minimizing total
+  /// edge count.
+  std::vector<std::vector<NodeId>> paths;
+  std::size_t max_length = 0;  ///< δ̂_f candidate: longest path, in edges
+  double avg_length = 0.0;     ///< lower-bound side of Eq. (1)
+};
+
+/// Min-sum k vertex-disjoint paths from u to v; nullopt if fewer than k
+/// internally disjoint paths exist (i.e. local connectivity < k).
+std::optional<DisjointPaths> min_sum_disjoint_paths(const Digraph& g,
+                                                    NodeId u, NodeId v,
+                                                    std::size_t k);
+
+/// δ̂_f over all ordered pairs: max over (u,v) of the min-sum bound with
+/// k = f+1. Nullopt if some pair has fewer than f+1 disjoint paths.
+std::optional<std::size_t> fault_diameter_bound(const Digraph& g,
+                                                std::size_t f);
+
+/// Same bound over `pairs` uniformly sampled ordered pairs (large graphs).
+std::optional<std::size_t> fault_diameter_bound_sampled(const Digraph& g,
+                                                        std::size_t f,
+                                                        std::size_t pairs,
+                                                        Rng& rng);
+
+/// Exact D_f(G,f) by enumerating every |F| = f subset. Exponential — only
+/// for small n (tests and the paper's n=12 binomial example). Requires
+/// f < k(G); nullopt if some removal disconnects the digraph.
+std::optional<std::size_t> fault_diameter_exact(const Digraph& g,
+                                                std::size_t f);
+
+/// Monte-Carlo lower bound on D_f(G,f): max diameter over `samples` random
+/// f-subsets. Nullopt if a sampled removal disconnects the digraph.
+std::optional<std::size_t> fault_diameter_sampled(const Digraph& g,
+                                                  std::size_t f,
+                                                  std::size_t samples,
+                                                  Rng& rng);
+
+}  // namespace allconcur::graph

@@ -1,0 +1,94 @@
+#include "graph/gs_digraph.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "graph/debruijn.hpp"
+#include "graph/multidigraph.hpp"
+
+namespace allconcur::graph {
+
+Digraph make_gs_digraph(std::size_t n, std::size_t d) {
+  ALLCONCUR_ASSERT(d >= 3, "GS(n,d) requires d >= 3");
+  ALLCONCUR_ASSERT(n >= 2 * d, "GS(n,d) requires n >= 2d");
+
+  const std::size_t m = n / d;
+  const std::size_t t = n % d;
+
+  Multidigraph star = make_de_bruijn_star(m, d);
+  star.canonicalize();
+  const auto& star_edges = star.edges();
+
+  // Line digraph vertices are edge ids of the canonical edge order.
+  Digraph l = line_digraph(star);
+  if (t == 0) return l;
+
+  // Base vertex of G*B around which the t extra vertices are attached.
+  const NodeId base = 0;
+
+  // X: ids of in-edges of `base` (vertices "uv" of L); Y: ids of out-edges
+  // ("vu"). |X| == |Y| == d by regularity.
+  std::vector<NodeId> x, y;
+  for (std::size_t i = 0; i < star_edges.size(); ++i) {
+    if (star_edges[i].head == base) x.push_back(static_cast<NodeId>(i));
+    if (star_edges[i].tail == base) y.push_back(static_cast<NodeId>(i));
+  }
+  ALLCONCUR_ASSERT(x.size() == d && y.size() == d,
+                   "base vertex of G*B must have in/out degree d");
+
+  // Extend L with the t new vertices w_0..w_{t-1}.
+  const std::size_t n_l = l.order();
+  Digraph g(n_l + t);
+  for (NodeId u = 0; u < n_l; ++u) {
+    for (NodeId v : l.successors(u)) g.add_edge(u, v);
+  }
+  const auto w = [&](std::size_t i) { return static_cast<NodeId>(n_l + i); };
+
+  // Clique among the w's.
+  for (std::size_t i = 0; i < t; ++i) {
+    for (std::size_t j = 0; j < t; ++j) {
+      if (i != j) g.add_edge(w(i), w(j));
+    }
+  }
+
+  // For each i: connect X_i = {x_i..x_{i+d-t}} into w_i, w_i out to
+  // Y_i = {y_i..y_{i+d-t}}, and remove the matching
+  // M_i = {(x_{i+p}, y_{i+q}) : q = (i+p) mod (d-t+1)}.
+  //
+  // Note i+p <= (t-1)+(d-t) = d-1 and i+q <= d-1, so the X/Y indices never
+  // wrap; we still reduce mod d defensively.
+  const std::size_t window = d - t + 1;
+  for (std::size_t i = 0; i < t; ++i) {
+    for (std::size_t p = 0; p <= d - t; ++p) {
+      const NodeId xv = x[(i + p) % d];
+      const NodeId yv = y[(i + p) % d];
+      g.add_edge(xv, w(i));
+      g.add_edge(w(i), yv);
+      const std::size_t q = (i + p) % window;
+      // Remove (x_{i+p}, y_{i+q}). The edge must exist in L: every in-edge
+      // of `base` connects to every out-edge of `base`.
+      g.remove_edge(xv, y[(i + q) % d]);
+    }
+  }
+
+  ALLCONCUR_ASSERT(g.is_regular() && g.degree() == d,
+                   "GS(n,d) must be d-regular");
+  return g;
+}
+
+std::size_t gs_moore_diameter_lower_bound(std::size_t n, std::size_t d) {
+  ALLCONCUR_ASSERT(d >= 2, "Moore bound requires d >= 2");
+  // D_L(n,d) = ceil(log_d(n(d-1)+d)) - 1, computed with integers to avoid
+  // floating point boundary errors.
+  const std::size_t target = n * (d - 1) + d;
+  std::size_t power = 1;
+  std::size_t exponent = 0;
+  while (power < target) {
+    power *= d;
+    ++exponent;
+  }
+  return exponent - 1;
+}
+
+}  // namespace allconcur::graph

@@ -1,0 +1,26 @@
+// GS(n,d) digraphs (Soneoka, Imase & Manabe 1996) — AllConcur's overlay
+// network of choice (§4.4): d-regular, optimally connected (k = d) for any
+// d >= 3 and n >= 2d, with quasiminimal diameter for n <= d^3 + d.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/digraph.hpp"
+
+namespace allconcur::graph {
+
+/// Builds GS(n,d). Requires d >= 3 and n >= 2d.
+///
+/// Construction (paper §4.4): write n = m*d + t (m >= 2, 0 <= t < d). Take
+/// the line digraph L(G*B(m,d)) of the self-loop-free generalized de Bruijn
+/// digraph; if t == 0 that is GS(n,d). Otherwise add t extra vertices
+/// w_0..w_{t-1} wired into the in-edge set X and out-edge set Y of an
+/// arbitrary base vertex (we fix vertex 0 of G*B for determinism), remove
+/// the matchings M_i, and interconnect the w's as a clique.
+Digraph make_gs_digraph(std::size_t n, std::size_t d);
+
+/// Lower bound on the diameter of any d-regular digraph on n vertices from
+/// the Moore bound (Table 3): D_L(n,d) = ceil(log_d(n(d-1)+d)) - 1.
+std::size_t gs_moore_diameter_lower_bound(std::size_t n, std::size_t d);
+
+}  // namespace allconcur::graph

@@ -1,0 +1,32 @@
+#include "graph/kautz.hpp"
+
+#include "common/assert.hpp"
+
+namespace allconcur::graph {
+
+std::size_t kautz_order(std::size_t d, std::size_t diameter) {
+  ALLCONCUR_ASSERT(d >= 2, "Kautz digraphs need degree >= 2");
+  ALLCONCUR_ASSERT(diameter >= 1, "Kautz digraphs need diameter >= 1");
+  std::size_t pow_dm1 = 1;  // d^(D-1)
+  for (std::size_t i = 1; i < diameter; ++i) pow_dm1 *= d;
+  return pow_dm1 * d + pow_dm1;
+}
+
+Digraph make_kautz(std::size_t d, std::size_t diameter) {
+  const std::size_t n = kautz_order(d, diameter);
+  Digraph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t a = 1; a <= d; ++a) {
+      // v = (-(u*d + a)) mod n; computed with a positive operand.
+      const std::size_t raw = (u * d + a) % n;
+      const NodeId v = static_cast<NodeId>((n - raw) % n);
+      ALLCONCUR_ASSERT(v != u, "Imase-Itoh produced a self-loop");
+      g.add_edge(u, v);
+    }
+  }
+  ALLCONCUR_ASSERT(g.is_regular() && g.degree() == d,
+                   "Kautz digraph must be d-regular");
+  return g;
+}
+
+}  // namespace allconcur::graph

@@ -1,0 +1,22 @@
+// Kautz digraphs via the Imase–Itoh construction — the classic alternative
+// to de Bruijn-style overlays in §4.4's design space: for degree d and
+// diameter D they reach n = d^D + d^(D-1) vertices, the densest known
+// digraphs for given (d, D), optimally connected (k = d).
+//
+// Construction (Imase & Itoh 1983): vertices 0..n-1 with
+// n = d^D + d^(D-1); edges u -> (-(u*d + a)) mod n for a = 1..d.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/digraph.hpp"
+
+namespace allconcur::graph {
+
+/// Number of vertices of the Kautz digraph K(d, D).
+std::size_t kautz_order(std::size_t d, std::size_t diameter);
+
+/// Builds K(d, D); requires d >= 2 and D >= 1.
+Digraph make_kautz(std::size_t d, std::size_t diameter);
+
+}  // namespace allconcur::graph

@@ -1,0 +1,55 @@
+#include "graph/multidigraph.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace allconcur::graph {
+
+void Multidigraph::add_edge(NodeId u, NodeId v) {
+  ALLCONCUR_ASSERT(u < n_ && v < n_, "vertex id out of range");
+  edges_.push_back({u, v});
+}
+
+std::size_t Multidigraph::out_degree(NodeId v) const {
+  std::size_t d = 0;
+  for (const Edge& e : edges_) d += (e.tail == v);
+  return d;
+}
+
+std::size_t Multidigraph::in_degree(NodeId v) const {
+  std::size_t d = 0;
+  for (const Edge& e : edges_) d += (e.head == v);
+  return d;
+}
+
+std::size_t Multidigraph::self_loop_count(NodeId v) const {
+  std::size_t d = 0;
+  for (const Edge& e : edges_) d += (e.tail == v && e.head == v);
+  return d;
+}
+
+void Multidigraph::remove_one_self_loop(NodeId v) {
+  for (std::size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i].tail == v && edges_[i].head == v) {
+      edges_.erase(edges_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+  ALLCONCUR_ASSERT(false, "no self-loop to remove at this vertex");
+}
+
+bool Multidigraph::is_regular(std::size_t d) const {
+  for (NodeId v = 0; v < n_; ++v) {
+    if (out_degree(v) != d || in_degree(v) != d) return false;
+  }
+  return true;
+}
+
+void Multidigraph::canonicalize() {
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.tail != b.tail ? a.tail < b.tail : a.head < b.head;
+  });
+}
+
+}  // namespace allconcur::graph

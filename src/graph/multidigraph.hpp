@@ -1,0 +1,52 @@
+// Directed multigraph, used only as an intermediate by the GS(n,d)
+// construction (§4.4): the generalized de Bruijn digraph G*B(m,d) obtained
+// after replacing self-loops by cycles is in general a multigraph (e.g.
+// m=2, d=3 has three parallel edges each way), but its *line digraph* is
+// simple, which is what ends up as the overlay.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace allconcur::graph {
+
+class Multidigraph {
+ public:
+  struct Edge {
+    NodeId tail;
+    NodeId head;
+    bool operator==(const Edge&) const = default;
+  };
+
+  explicit Multidigraph(std::size_t n) : n_(n) {}
+
+  std::size_t order() const { return n_; }
+  std::size_t edge_count() const { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Parallel edges and self-loops are both allowed.
+  void add_edge(NodeId u, NodeId v);
+
+  std::size_t out_degree(NodeId v) const;
+  std::size_t in_degree(NodeId v) const;
+  std::size_t self_loop_count(NodeId v) const;
+
+  /// Removes one occurrence of a self-loop at v; asserts one exists.
+  void remove_one_self_loop(NodeId v);
+
+  /// True iff out_degree(v) == in_degree(v) == d for all v (self-loops
+  /// count once toward each).
+  bool is_regular(std::size_t d) const;
+
+  /// Deterministic edge order: sorts the edge list by (tail, head).
+  /// Call before taking the line digraph so vertex ids are reproducible.
+  void canonicalize();
+
+ private:
+  std::size_t n_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace allconcur::graph

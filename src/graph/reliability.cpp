@@ -1,0 +1,55 @@
+#include "graph/reliability.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/math.hpp"
+
+namespace allconcur::graph {
+
+double FailureModel::p_f() const {
+  return failure_probability(delta_hours, mttf_hours);
+}
+
+double system_reliability(std::size_t n, std::size_t k,
+                          const FailureModel& fm) {
+  ALLCONCUR_ASSERT(k >= 1, "connectivity must be at least 1");
+  // P[fewer than k failures among n].
+  return binomial_cdf_lt(n, k, fm.p_f());
+}
+
+double system_reliability_nines(std::size_t n, std::size_t k,
+                                const FailureModel& fm) {
+  return nines(system_reliability(n, k, fm));
+}
+
+std::optional<std::size_t> min_gs_degree_for_target(std::size_t n,
+                                                    double target_nines,
+                                                    const FailureModel& fm) {
+  for (std::size_t d = 3; 2 * d <= n; ++d) {
+    if (system_reliability_nines(n, d, fm) >= target_nines) return d;
+  }
+  return std::nullopt;
+}
+
+const std::vector<GsParams>& paper_table3() {
+  static const std::vector<GsParams> kTable{
+      {6, 3, 2},    {8, 3, 2},    {11, 3, 3},  {16, 4, 2},  {22, 4, 3},
+      {32, 4, 3},   {45, 4, 4},   {64, 5, 4},  {90, 5, 3},  {128, 5, 4},
+      {256, 7, 4},  {512, 8, 3},  {1024, 11, 4},
+  };
+  return kTable;
+}
+
+std::size_t paper_gs_degree(std::size_t n) {
+  const auto& table = paper_table3();
+  for (const GsParams& row : table) {
+    if (n <= row.n) return std::min(row.d, n / 2);
+  }
+  // Beyond Table 3: fall back to the computed minimal degree (6-nines).
+  const auto d = min_gs_degree_for_target(n, 6.0, FailureModel{});
+  ALLCONCUR_ASSERT(d.has_value(), "no GS degree reaches 6-nines");
+  return *d;
+}
+
+}  // namespace allconcur::graph

@@ -1,0 +1,53 @@
+// AllConcur reliability estimation (§4.4):
+//   ρ_G = Σ_{i=0}^{k(G)-1} C(n,i) · p_f^i · (1-p_f)^{n-i},
+// the probability that fewer than k(G) servers fail within a period Δ, with
+// p_f = 1 - e^{-Δ/MTTF} (exponential lifetimes, §4.2.2). Drives both the
+// Fig. 5 curves and the Table 3 degree selection.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace allconcur::graph {
+
+/// Failure-model parameters. Defaults match the paper: Δ = 24h horizon,
+/// MTTF ≈ 2 years (TSUBAME2.5 failure history).
+struct FailureModel {
+  double delta_hours = 24.0;
+  double mttf_hours = 2.0 * 365.25 * 24.0;
+
+  double p_f() const;  ///< per-server failure probability over Δ
+};
+
+/// ρ_G for an n-server system whose overlay has vertex connectivity k.
+double system_reliability(std::size_t n, std::size_t k, const FailureModel& fm);
+
+/// Same, expressed in nines: -log10(1 - ρ_G).
+double system_reliability_nines(std::size_t n, std::size_t k,
+                                const FailureModel& fm);
+
+/// Smallest degree d (with k(GS) = d, d >= 3, n >= 2d) meeting a
+/// reliability target of `target_nines`; nullopt if even d = n/2 (the
+/// GS construction limit) cannot reach the target.
+std::optional<std::size_t> min_gs_degree_for_target(std::size_t n,
+                                                    double target_nines,
+                                                    const FailureModel& fm);
+
+/// One row of Table 3.
+struct GsParams {
+  std::size_t n;
+  std::size_t d;
+  std::size_t diameter;  ///< D(GS(n,d)) as published
+};
+
+/// The published Table 3 (6-nines over 24h, MTTF ≈ 2 years). Protocol
+/// benches use these exact (n,d) pairs; see DESIGN.md §4.4 for the two
+/// borderline rows where an independent recomputation differs by one.
+const std::vector<GsParams>& paper_table3();
+
+/// Published degree for n (interpolating to the next-larger published row
+/// when n is not in Table 3); used to configure benches at arbitrary n.
+std::size_t paper_gs_degree(std::size_t n);
+
+}  // namespace allconcur::graph

@@ -1,0 +1,367 @@
+#include "net/tcp_transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/assert.hpp"
+
+namespace allconcur::net {
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  ALLCONCUR_ASSERT(flags >= 0, "fcntl(F_GETFL) failed");
+  ALLCONCUR_ASSERT(fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                   "fcntl(F_SETFL) failed");
+}
+
+void set_nodelay(int fd) {
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+TimeNs monotonic_now() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TcpNode::TcpNode(TcpNodeOptions options, DeliverFn on_deliver)
+    : options_(std::move(options)), on_deliver_(std::move(on_deliver)) {
+  if (!options_.builder) options_.builder = core::make_default_graph_builder();
+
+  core::Engine::Hooks hooks;
+  hooks.send = [this](NodeId dst, const core::Message& m) {
+    send_bytes(dst, core::encode(m));
+  };
+  hooks.deliver = [this](const core::RoundResult& r) {
+    completed_rounds_.fetch_add(1, std::memory_order_release);
+    if (on_deliver_) on_deliver_(r);
+  };
+  core::Engine::Options eopts;
+  eopts.fd_mode = options_.fd_mode;
+  engine_ = std::make_unique<core::Engine>(
+      options_.self, core::View(options_.members, options_.builder),
+      options_.builder, hooks, eopts);
+
+  if (options_.enable_heartbeats) {
+    core::HeartbeatFd::Hooks fd_hooks;
+    fd_hooks.send = [this](NodeId dst, const core::Message& m) {
+      send_bytes(dst, core::encode(m));
+    };
+    fd_hooks.suspect = [this](NodeId suspect) { engine_->on_suspect(suspect); };
+    fd_ = std::make_unique<core::HeartbeatFd>(options_.self,
+                                              options_.fd_params, fd_hooks);
+    fd_->set_peers(engine_->view().successors_of(options_.self),
+                   engine_->view().predecessors_of(options_.self),
+                   monotonic_now());
+  }
+}
+
+TcpNode::~TcpNode() {
+  for (auto& [fd, conn] : conns_) ::close(fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (event_fd_ >= 0) ::close(event_fd_);
+  if (timer_fd_ >= 0) ::close(timer_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+void TcpNode::setup_listener() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  ALLCONCUR_ASSERT(listen_fd_ >= 0, "socket() failed");
+  const int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port =
+      htons(static_cast<std::uint16_t>(options_.base_port + options_.self));
+  ALLCONCUR_ASSERT(
+      ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+      "bind() failed (port in use?)");
+  ALLCONCUR_ASSERT(::listen(listen_fd_, 64) == 0, "listen() failed");
+  set_nonblocking(listen_fd_);
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+}
+
+void TcpNode::dial(NodeId peer) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ALLCONCUR_ASSERT(fd >= 0, "socket() failed");
+  set_nodelay(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.base_port + peer));
+  // Blocking connect with retries: peers may not be listening yet.
+  for (int attempt = 0; attempt < 400; ++attempt) {
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      set_nonblocking(fd);
+      Conn conn;
+      conn.fd = fd;
+      conn.peer = peer;
+      conn.outbound = true;
+      // Hello: announce who we are so the acceptor can map the link.
+      const std::uint32_t hello = options_.self;
+      std::vector<std::uint8_t> bytes(4);
+      std::memcpy(bytes.data(), &hello, 4);
+      conn.wqueue.push_back(std::move(bytes));
+      conns_[fd] = std::move(conn);
+      out_by_peer_[peer] = fd;
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLOUT;
+      ev.data.fd = fd;
+      epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+      flush(conns_[fd]);
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ALLCONCUR_ASSERT(false, "could not connect to successor");
+}
+
+void TcpNode::dial_successors() {
+  for (NodeId s : engine_->view().successors_of(options_.self)) {
+    dial(s);
+  }
+  connected_.store(true, std::memory_order_release);
+}
+
+bool TcpNode::wait_connected(DurationNs timeout) {
+  const TimeNs start = monotonic_now();
+  while (!connected_.load(std::memory_order_acquire)) {
+    if (monotonic_now() - start > timeout) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+void TcpNode::run() {
+  epoll_fd_ = epoll_create1(0);
+  ALLCONCUR_ASSERT(epoll_fd_ >= 0, "epoll_create1 failed");
+
+  event_fd_ = eventfd(0, EFD_NONBLOCK);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = event_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev);
+
+  if (fd_) {
+    timer_fd_ = timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK);
+    itimerspec spec{};
+    const auto period_ns = options_.fd_params.period;
+    spec.it_interval.tv_sec = period_ns / 1'000'000'000;
+    spec.it_interval.tv_nsec = period_ns % 1'000'000'000;
+    spec.it_value = spec.it_interval;
+    timerfd_settime(timer_fd_, 0, &spec, nullptr);
+    epoll_event tev{};
+    tev.events = EPOLLIN;
+    tev.data.fd = timer_fd_;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, timer_fd_, &tev);
+  }
+
+  setup_listener();
+  dial_successors();
+
+  epoll_event events[64];
+  while (!stop_.load(std::memory_order_acquire)) {
+    // Commands may have been queued before the eventfd existed.
+    drain_commands();
+    const int ready = epoll_wait(epoll_fd_, events, 64, 50);
+    for (int i = 0; i < ready; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        on_accept();
+      } else if (fd == event_fd_) {
+        std::uint64_t buf;
+        while (::read(event_fd_, &buf, 8) == 8) {
+        }
+        drain_commands();
+      } else if (fd == timer_fd_) {
+        std::uint64_t expirations;
+        while (::read(timer_fd_, &expirations, 8) == 8) {
+        }
+        fd_tick();
+      } else {
+        if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+          close_conn(fd);
+          continue;
+        }
+        if (events[i].events & EPOLLIN) on_readable(fd);
+        if (conns_.count(fd) && (events[i].events & EPOLLOUT)) {
+          on_writable(fd);
+        }
+      }
+    }
+  }
+}
+
+void TcpNode::fd_tick() {
+  if (!fd_) return;
+  fd_->tick(monotonic_now());
+}
+
+void TcpNode::on_accept() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    set_nonblocking(fd);
+    set_nodelay(fd);
+    Conn conn;
+    conn.fd = fd;
+    conns_[fd] = std::move(conn);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+}
+
+void TcpNode::on_readable(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  Conn& conn = it->second;
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t got = ::read(fd, buf, sizeof(buf));
+    if (got > 0) {
+      conn.rbuf.insert(conn.rbuf.end(), buf, buf + got);
+    } else if (got == 0) {
+      close_conn(fd);  // peer closed — its FD heartbeats stop with it
+      return;
+    } else {
+      break;  // EAGAIN
+    }
+  }
+  parse_frames(conn);
+}
+
+void TcpNode::parse_frames(Conn& conn) {
+  std::size_t at = 0;
+  // Inbound links start with the peer's 4-byte hello.
+  if (conn.peer == kInvalidNode) {
+    if (conn.rbuf.size() < 4) return;
+    std::uint32_t hello;
+    std::memcpy(&hello, conn.rbuf.data(), 4);
+    conn.peer = hello;
+    at = 4;
+  }
+  while (at < conn.rbuf.size()) {
+    const auto frame = core::frame_size(
+        std::span(conn.rbuf.data() + at, conn.rbuf.size() - at));
+    if (!frame || conn.rbuf.size() - at < *frame) break;
+    const auto msg =
+        core::decode(std::span(conn.rbuf.data() + at, *frame));
+    at += *frame;
+    if (!msg) continue;  // malformed frame: skip
+    if (msg->type == core::MsgType::kHeartbeat) {
+      if (fd_) fd_->on_heartbeat(conn.peer, monotonic_now());
+      continue;
+    }
+    if (fd_) fd_->on_heartbeat(conn.peer, monotonic_now());  // traffic = alive
+    engine_->on_message(conn.peer, *msg);
+  }
+  conn.rbuf.erase(conn.rbuf.begin(),
+                  conn.rbuf.begin() + static_cast<std::ptrdiff_t>(at));
+}
+
+void TcpNode::send_bytes(NodeId dst, std::vector<std::uint8_t> bytes) {
+  const auto it = out_by_peer_.find(dst);
+  if (it == out_by_peer_.end()) return;  // peer gone (crashed / removed)
+  const auto conn_it = conns_.find(it->second);
+  if (conn_it == conns_.end()) return;
+  conn_it->second.wqueue.push_back(std::move(bytes));
+  flush(conn_it->second);
+}
+
+void TcpNode::flush(Conn& conn) {
+  while (!conn.wqueue.empty()) {
+    const auto& front = conn.wqueue.front();
+    const std::size_t remaining = front.size() - conn.wqueue_offset;
+    const ssize_t sent =
+        ::send(conn.fd, front.data() + conn.wqueue_offset, remaining,
+               MSG_NOSIGNAL);
+    if (sent < 0) break;  // EAGAIN: wait for EPOLLOUT
+    conn.wqueue_offset += static_cast<std::size_t>(sent);
+    if (conn.wqueue_offset == front.size()) {
+      conn.wqueue.pop_front();
+      conn.wqueue_offset = 0;
+    }
+  }
+  update_epoll(conn);
+}
+
+void TcpNode::update_epoll(Conn& conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (conn.wqueue.empty() ? 0u : EPOLLOUT);
+  ev.data.fd = conn.fd;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void TcpNode::on_writable(int fd) {
+  auto it = conns_.find(fd);
+  if (it != conns_.end()) flush(it->second);
+}
+
+void TcpNode::close_conn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  if (it->second.outbound) out_by_peer_.erase(it->second.peer);
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  conns_.erase(it);
+}
+
+void TcpNode::drain_commands() {
+  std::deque<std::function<void()>> pending;
+  {
+    const std::lock_guard<std::mutex> lock(cmd_mutex_);
+    pending.swap(commands_);
+  }
+  for (auto& fn : pending) fn();
+}
+
+void TcpNode::submit(core::Request request) {
+  {
+    const std::lock_guard<std::mutex> lock(cmd_mutex_);
+    commands_.push_back(
+        [this, request = std::move(request)]() mutable {
+          engine_->submit(std::move(request));
+        });
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(event_fd_, &one, 8);
+}
+
+void TcpNode::broadcast_now() {
+  {
+    const std::lock_guard<std::mutex> lock(cmd_mutex_);
+    commands_.push_back([this] { engine_->broadcast_now(); });
+  }
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(event_fd_, &one, 8);
+}
+
+void TcpNode::stop() {
+  stop_.store(true, std::memory_order_release);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] const ssize_t n = ::write(event_fd_, &one, 8);
+}
+
+}  // namespace allconcur::net

@@ -1,0 +1,111 @@
+// Real TCP transport for AllConcur nodes (§5: the paper's implementation
+// uses sockets-based TCP driven by libev; this is the epoll equivalent).
+//
+// Topology follows the overlay digraph: a node dials a connection to every
+// successor and accepts connections from its predecessors; peers identify
+// themselves with a 4-byte hello. Messages use the length-prefixed framing
+// of core::encode/decode.
+//
+// One TcpTransport serves one node and is single-threaded: all socket and
+// protocol work happens on the owning thread inside run()/poll_once().
+// Cross-thread control (submit, broadcast, stop) goes through an eventfd
+// command queue, keeping the engine free of locks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/failure_detector.hpp"
+
+namespace allconcur::net {
+
+struct TcpNodeOptions {
+  NodeId self = 0;
+  std::vector<NodeId> members;        ///< initial membership
+  std::uint16_t base_port = 39000;    ///< node i listens on base_port + i
+  core::GraphBuilder builder;         ///< defaults to the paper overlay
+  core::FdMode fd_mode = core::FdMode::kPerfect;
+  bool enable_heartbeats = true;
+  core::HeartbeatFd::Params fd_params{.period = ms(25), .timeout = ms(250),
+                                      .adaptive = false,
+                                      .max_timeout = sec(10)};
+};
+
+class TcpNode {
+ public:
+  using DeliverFn = std::function<void(const core::RoundResult&)>;
+
+  TcpNode(TcpNodeOptions options, DeliverFn on_deliver);
+  ~TcpNode();
+
+  TcpNode(const TcpNode&) = delete;
+  TcpNode& operator=(const TcpNode&) = delete;
+
+  /// Runs the event loop until stop() (call from a dedicated thread).
+  void run();
+
+  /// Thread-safe controls.
+  void submit(core::Request request);
+  void broadcast_now();
+  void stop();
+
+  /// Blocks until connections to all successors are established.
+  bool wait_connected(DurationNs timeout);
+
+  NodeId self() const { return options_.self; }
+  const core::EngineStats& stats() const { return engine_->stats(); }
+  Round rounds_completed() const {
+    return completed_rounds_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    NodeId peer = kInvalidNode;
+    bool outbound = false;
+    bool hello_sent = false;
+    std::vector<std::uint8_t> rbuf;
+    std::deque<std::vector<std::uint8_t>> wqueue;
+    std::size_t wqueue_offset = 0;  // into wqueue.front()
+  };
+
+  void setup_listener();
+  void dial_successors();
+  void dial(NodeId peer);
+  void on_accept();
+  void on_readable(int fd);
+  void on_writable(int fd);
+  void parse_frames(Conn& conn);
+  void send_bytes(NodeId dst, std::vector<std::uint8_t> bytes);
+  void flush(Conn& conn);
+  void close_conn(int fd);
+  void drain_commands();
+  void update_epoll(Conn& conn);
+  void fd_tick();
+
+  TcpNodeOptions options_;
+  DeliverFn on_deliver_;
+  std::unique_ptr<core::Engine> engine_;
+  std::unique_ptr<core::HeartbeatFd> fd_;
+
+  int epoll_fd_ = -1;
+  int listen_fd_ = -1;
+  int event_fd_ = -1;
+  int timer_fd_ = -1;
+  std::map<int, Conn> conns_;          // by socket fd
+  std::map<NodeId, int> out_by_peer_;  // successor -> socket fd
+
+  std::mutex cmd_mutex_;
+  std::deque<std::function<void()>> commands_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> connected_{false};
+  std::atomic<std::uint64_t> completed_rounds_{0};
+};
+
+}  // namespace allconcur::net

@@ -1,0 +1,104 @@
+#include "sim/network_model.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace allconcur::sim {
+
+FabricParams FabricParams::infiniband() {
+  FabricParams p;
+  p.latency = ns(1250);
+  p.overhead = ns(380);
+  // Verbs saturate the 40 Gbps (5 GB/s) link from a single QP.
+  p.stream_ns_per_byte = 0.2;
+  p.nic_ns_per_byte = 0.2;
+  p.congestion_threshold_bytes = 0;
+  return p;
+}
+
+FabricParams FabricParams::tcp_ib() {
+  FabricParams p;
+  p.latency = us(12);
+  p.overhead = us(1.8);
+  // IPoIB: a single TCP stream reaches ~10 Gbps; the single-threaded
+  // event loop handles rx+tx bytes at ~5 GB/s combined.
+  p.stream_ns_per_byte = 0.8;
+  p.nic_ns_per_byte = 0.2;
+  p.shared_cpu = true;
+  p.congestion_threshold_bytes = 128 * 1024;
+  p.congestion_penalty = 1.35;
+  return p;
+}
+
+FabricParams FabricParams::tcp_xc40() {
+  FabricParams p;
+  p.latency = us(14);
+  p.overhead = us(1.8);
+  // Single-stream TCP ~12 Gbps; the binding per-node limit is the
+  // single-threaded TCP/event-loop byte processing (~5 GB/s for rx+tx
+  // combined), not the Aries link.
+  p.stream_ns_per_byte = 0.55;
+  p.nic_ns_per_byte = 0.25;
+  p.shared_cpu = true;
+  p.congestion_threshold_bytes = 128 * 1024;
+  p.congestion_penalty = 1.35;
+  return p;
+}
+
+NetworkModel::NetworkModel(FabricParams params, std::size_t nodes)
+    : params_(params),
+      egress_free_(nodes, 0),
+      ingress_free_(nodes, 0),
+      conn_free_(nodes * nodes, 0),
+      nodes_(nodes) {}
+
+double NetworkModel::stream_time(std::size_t bytes) const {
+  double t = static_cast<double>(bytes) * params_.stream_ns_per_byte;
+  if (params_.congestion_threshold_bytes != 0 &&
+      bytes > params_.congestion_threshold_bytes) {
+    t *= params_.congestion_penalty;
+  }
+  return t;
+}
+
+TimeNs NetworkModel::sender_done(NodeId src, NodeId dst, std::size_t bytes,
+                                 TimeNs now) {
+  ALLCONCUR_ASSERT(src < nodes_ && dst < nodes_, "node id out of range");
+  // Egress CPU + NIC serialization, shared across all connections of src
+  // (and, for single-threaded transports, with the receive side).
+  TimeNs& egress =
+      params_.shared_cpu ? ingress_free_[src] : egress_free_[src];
+  const TimeNs start = std::max(now, egress);
+  const TimeNs nic_done =
+      start + params_.overhead +
+      static_cast<DurationNs>(static_cast<double>(bytes) * params_.nic_ns_per_byte);
+  egress = nic_done;
+
+  // Per-connection pacing: a single stream cannot exceed its rate.
+  TimeNs& conn = conn_free_[src * nodes_ + dst];
+  const TimeNs stream_done =
+      std::max(nic_done, conn) + static_cast<DurationNs>(stream_time(bytes));
+  conn = stream_done;
+  return stream_done;
+}
+
+TimeNs NetworkModel::receiver_done(NodeId dst, std::size_t bytes,
+                                   TimeNs arrival_at) {
+  ALLCONCUR_ASSERT(dst < nodes_, "node id out of range");
+  const TimeNs start = std::max(arrival_at, ingress_free_[dst]);
+  const TimeNs done =
+      start + params_.overhead +
+      static_cast<DurationNs>(static_cast<double>(bytes) * params_.nic_ns_per_byte);
+  ingress_free_[dst] = done;
+  return done;
+}
+
+DurationNs NetworkModel::uncontended_transit(std::size_t bytes) const {
+  return 2 * params_.overhead + params_.latency +
+         static_cast<DurationNs>(static_cast<double>(bytes) *
+                                 (params_.nic_ns_per_byte +
+                                  params_.stream_ns_per_byte));
+}
+
+}  // namespace allconcur::sim

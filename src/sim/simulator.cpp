@@ -1,0 +1,48 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace allconcur::sim {
+
+void Simulator::schedule(DurationNs delay, Action fn) {
+  ALLCONCUR_ASSERT(delay >= 0, "cannot schedule into the past");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(TimeNs t, Action fn) {
+  ALLCONCUR_ASSERT(t >= now_, "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+std::size_t Simulator::run_until(TimeNs t_end) {
+  std::size_t ran = 0;
+  while (!queue_.empty() && queue_.top().at <= t_end) {
+    // Copy out before pop: the action may schedule new events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++ran;
+    ++processed_;
+  }
+  if (now_ < t_end) now_ = t_end;
+  return ran;
+}
+
+std::size_t Simulator::run_to_completion(std::size_t max_events) {
+  std::size_t ran = 0;
+  while (!queue_.empty()) {
+    ALLCONCUR_ASSERT(ran < max_events, "simulation exceeded event budget");
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++ran;
+    ++processed_;
+  }
+  return ran;
+}
+
+}  // namespace allconcur::sim

@@ -1,0 +1,61 @@
+// Deterministic discrete-event simulator.
+//
+// All protocol engines in a simulated deployment run single-threaded on one
+// event loop with an int64 nanosecond clock. Events at equal timestamps run
+// in scheduling order (a monotone sequence number breaks ties), so every
+// run is exactly reproducible.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace allconcur::sim {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  TimeNs now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` from now (delay >= 0).
+  void schedule(DurationNs delay, Action fn);
+
+  /// Schedules `fn` at absolute time t (t >= now()).
+  void schedule_at(TimeNs t, Action fn);
+
+  /// Runs events until the queue is empty or the next event is after
+  /// `t_end`; the clock ends at min(t_end, last event time). Returns the
+  /// number of events processed.
+  std::size_t run_until(TimeNs t_end);
+
+  /// Runs everything currently scheduled (and whatever it schedules) until
+  /// the queue drains. `max_events` guards against runaway loops.
+  std::size_t run_to_completion(std::size_t max_events = 1'000'000'000);
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  std::size_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    TimeNs at;
+    std::uint64_t seq;
+    Action fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace allconcur::sim

@@ -1,0 +1,65 @@
+#include "sim/workload.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace allconcur::sim {
+
+FluidRate::FluidRate(double requests_per_sec, std::size_t request_bytes)
+    : requests_per_sec_(requests_per_sec), request_bytes_(request_bytes) {
+  ALLCONCUR_ASSERT(requests_per_sec >= 0.0, "negative rate");
+  ALLCONCUR_ASSERT(request_bytes > 0, "requests must have a size");
+}
+
+std::size_t FluidRate::take(TimeNs now) {
+  ALLCONCUR_ASSERT(now >= last_, "time went backwards");
+  carry_bytes_ += requests_per_sec_ * static_cast<double>(request_bytes_) *
+                  static_cast<double>(now - last_) / 1e9;
+  last_ = now;
+  const double whole = std::floor(carry_bytes_ /
+                                  static_cast<double>(request_bytes_));
+  const std::size_t bytes =
+      static_cast<std::size_t>(whole) * request_bytes_;
+  carry_bytes_ -= static_cast<double>(bytes);
+  return bytes;
+}
+
+PoissonArrivals::PoissonArrivals(double requests_per_sec,
+                                 std::size_t request_bytes, Rng rng)
+    : rate_per_ns_(requests_per_sec / 1e9),
+      request_bytes_(request_bytes),
+      rng_(rng) {
+  ALLCONCUR_ASSERT(requests_per_sec > 0.0, "Poisson rate must be positive");
+  ALLCONCUR_ASSERT(request_bytes > 0, "requests must have a size");
+  next_arrival_ =
+      static_cast<TimeNs>(rng_.next_exponential(1.0 / rate_per_ns_));
+}
+
+std::size_t PoissonArrivals::count_in(TimeNs now) {
+  std::size_t count = 0;
+  while (next_arrival_ < now) {
+    ++count;
+    next_arrival_ +=
+        static_cast<TimeNs>(rng_.next_exponential(1.0 / rate_per_ns_));
+  }
+  return count;
+}
+
+std::size_t PoissonArrivals::take(TimeNs now) {
+  return count_in(now) * request_bytes_;
+}
+
+PoissonArrivals make_apm_player(double apm, std::size_t update_bytes,
+                                Rng rng) {
+  return PoissonArrivals(apm / 60.0, update_bytes, rng);
+}
+
+FluidRate make_global_rate_share(double global_requests_per_sec,
+                                 std::size_t n, std::size_t request_bytes) {
+  ALLCONCUR_ASSERT(n > 0, "need at least one server");
+  return FluidRate(global_requests_per_sec / static_cast<double>(n),
+                   request_bytes);
+}
+
+}  // namespace allconcur::sim

@@ -1,0 +1,67 @@
+// Workload generators for the three §1.1 application scenarios and the §5
+// benchmarks. All generators answer one question for the round-driver:
+// "how many request bytes has this server accumulated since its previous
+// broadcast?" — either as a fluid approximation (exact at high rates,
+// avoids per-request events) or as discrete Poisson arrivals (faithful at
+// low rates, e.g. player actions).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace allconcur::sim {
+
+/// Fluid constant-rate source (Fig. 8/9 travel-reservation & exchange
+/// workloads): requests_per_sec * request_bytes flow in continuously;
+/// take() returns whole requests' worth of bytes, carrying the remainder.
+class FluidRate {
+ public:
+  FluidRate(double requests_per_sec, std::size_t request_bytes);
+
+  /// Bytes of whole requests accumulated in [last_take, now).
+  std::size_t take(TimeNs now);
+
+  std::size_t request_bytes() const { return request_bytes_; }
+  double offered_rate() const { return requests_per_sec_; }
+
+ private:
+  double requests_per_sec_;
+  std::size_t request_bytes_;
+  TimeNs last_ = 0;
+  double carry_bytes_ = 0.0;
+};
+
+/// Discrete Poisson arrivals (memoryless inter-arrival times) — the right
+/// model for sparse request streams such as player actions; take() counts
+/// the arrivals that fell in the elapsed window.
+class PoissonArrivals {
+ public:
+  PoissonArrivals(double requests_per_sec, std::size_t request_bytes,
+                  Rng rng);
+
+  /// Bytes of requests that arrived in [last_take, now).
+  std::size_t take(TimeNs now);
+  std::size_t count_in(TimeNs now);  ///< same, as a request count
+
+  std::size_t request_bytes() const { return request_bytes_; }
+
+ private:
+  double rate_per_ns_;
+  std::size_t request_bytes_;
+  Rng rng_;
+  TimeNs next_arrival_;
+};
+
+/// A game player (Fig. 9a): actions-per-minute converted to Poisson
+/// arrivals of fixed-size updates (the paper's 40-byte actions).
+PoissonArrivals make_apm_player(double apm, std::size_t update_bytes,
+                                Rng rng);
+
+/// Splits a system-wide constant rate (Fig. 9b exchanges) evenly across n
+/// servers as fluid sources.
+FluidRate make_global_rate_share(double global_requests_per_sec,
+                                 std::size_t n, std::size_t request_bytes);
+
+}  // namespace allconcur::sim

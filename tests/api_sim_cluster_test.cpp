@@ -1,0 +1,253 @@
+// Integration tests: full AllConcur deployments on the simulated fabric,
+// with timing, oracle/heartbeat failure detection and dynamic membership.
+#include "api/sim_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace allconcur::api {
+namespace {
+
+using core::Request;
+using core::RoundResult;
+
+TEST(SimCluster, SingleRoundCompletesWithPlausibleLatency) {
+  ClusterOptions opt;
+  opt.n = 8;
+  opt.fabric = sim::FabricParams::infiniband();
+  SimCluster c(opt);
+  std::map<NodeId, TimeNs> delivered_at;
+  c.on_deliver = [&](NodeId who, const RoundResult& r, TimeNs t) {
+    EXPECT_EQ(r.round, 0u);
+    delivered_at[who] = t;
+  };
+  c.broadcast_all_now();
+  ASSERT_TRUE(c.run_until_round_done(0, sec(1)));
+  EXPECT_EQ(delivered_at.size(), 8u);
+  for (const auto& [who, t] : delivered_at) {
+    // GS(8,3), D=2: at least 2 hops of latency; well under a millisecond
+    // on InfiniBand.
+    EXPECT_GT(t, 2 * ns(1250)) << "node " << who;
+    EXPECT_LT(t, ms(1)) << "node " << who;
+  }
+}
+
+TEST(SimCluster, LatencyScalesWithFabric) {
+  auto median_latency = [](sim::FabricParams fabric) {
+    ClusterOptions opt;
+    opt.n = 8;
+    opt.fabric = fabric;
+    SimCluster c(opt);
+    TimeNs last = 0;
+    c.on_deliver = [&](NodeId, const RoundResult&, TimeNs t) {
+      last = std::max(last, t);
+    };
+    c.broadcast_all_now();
+    c.run_until_round_done(0, sec(1));
+    return last;
+  };
+  // TCP (o=1.8us, L=12us) must be several times slower than IBV.
+  EXPECT_GT(median_latency(sim::FabricParams::tcp_ib()),
+            3 * median_latency(sim::FabricParams::infiniband()));
+}
+
+TEST(SimCluster, ManyRoundsBackToBack) {
+  ClusterOptions opt;
+  opt.n = 8;
+  SimCluster c(opt);
+  std::map<NodeId, std::size_t> rounds_done;
+  c.on_deliver = [&](NodeId who, const RoundResult& r, TimeNs) {
+    ++rounds_done[who];
+    EXPECT_EQ(r.deliveries.size(), 8u);
+    c.broadcast_now(who);  // immediately start the next round
+  };
+  c.broadcast_all_now();
+  ASSERT_TRUE(c.run_until_round_done(19, sec(10)));
+  for (const auto& [who, n] : rounds_done) EXPECT_GE(n, 20u) << who;
+}
+
+TEST(SimCluster, OracleDetectionResolvesCrash) {
+  ClusterOptions opt;
+  opt.n = 8;
+  opt.detection_delay = ms(1);
+  SimCluster c(opt);
+  std::map<NodeId, RoundResult> results;
+  c.on_deliver = [&](NodeId who, const RoundResult& r, TimeNs) {
+    results[who] = r;
+  };
+  c.crash_at(3, 0);  // dead before it ever broadcasts
+  c.broadcast_all_now();
+  ASSERT_TRUE(c.run_until_round_done(0, sec(10)));
+  for (NodeId id : c.live_nodes()) {
+    ASSERT_TRUE(results.count(id)) << "node " << id;
+    EXPECT_EQ(results[id].deliveries.size(), 7u);
+    EXPECT_EQ(results[id].removed, (std::vector<NodeId>{3}));
+  }
+}
+
+TEST(SimCluster, MidBroadcastCrashStillAgrees) {
+  ClusterOptions opt;
+  opt.n = 8;
+  opt.detection_delay = ms(1);
+  opt.seed = 7;
+  SimCluster c(opt);
+  std::map<NodeId, std::vector<NodeId>> origins;
+  c.on_deliver = [&](NodeId who, const RoundResult& r, TimeNs) {
+    for (const auto& d : r.deliveries) origins[who].push_back(d.origin);
+  };
+  c.crash_after_sends(5, us(1), 1);  // one copy escapes
+  c.broadcast_all_now();
+  ASSERT_TRUE(c.run_until_round_done(0, sec(10)));
+  const auto reference = origins[c.live_nodes()[0]];
+  for (NodeId id : c.live_nodes()) {
+    EXPECT_EQ(origins[id], reference) << "node " << id;
+  }
+}
+
+TEST(SimCluster, HeartbeatFdDetectsCrash) {
+  ClusterOptions opt;
+  opt.n = 8;
+  opt.heartbeat_fd = true;
+  opt.fd_params.period = ms(10);
+  opt.fd_params.timeout = ms(100);
+  SimCluster c(opt);
+  std::map<NodeId, RoundResult> results;
+  std::map<NodeId, TimeNs> finished;
+  c.on_deliver = [&](NodeId who, const RoundResult& r, TimeNs t) {
+    results[who] = r;
+    finished[who] = t;
+  };
+  c.crash_at(2, 0);  // dead before it can broadcast: the round must stall
+  c.broadcast_all_now();
+  ASSERT_TRUE(c.run_until_round_done(0, sec(30)));
+  for (NodeId id : c.live_nodes()) {
+    EXPECT_EQ(results[id].removed, (std::vector<NodeId>{2}));
+    // Unavailability is dominated by the heartbeat timeout (~100ms),
+    // the shape the paper reports in Fig. 7.
+    EXPECT_GT(finished[id], ms(90));
+    EXPECT_LT(finished[id], ms(400));
+  }
+}
+
+TEST(SimCluster, HeartbeatFdQuietWithoutFailures) {
+  ClusterOptions opt;
+  opt.n = 6;
+  opt.heartbeat_fd = true;
+  opt.fd_params.period = ms(10);
+  opt.fd_params.timeout = ms(100);
+  SimCluster c(opt);
+  std::size_t rounds = 0;
+  c.on_deliver = [&](NodeId who, const RoundResult& r, TimeNs) {
+    ++rounds;
+    EXPECT_TRUE(r.removed.empty());
+    c.broadcast_now(who);
+  };
+  c.broadcast_all_now();
+  c.run_for(sec(2));
+  EXPECT_GT(rounds, 100u);  // no false suspicions stalling the pipeline
+  EXPECT_EQ(c.aggregate_stats().dropped_suspected, 0u);
+}
+
+TEST(SimCluster, JoinGrowsTheView) {
+  ClusterOptions opt;
+  opt.n = 6;
+  opt.detection_delay = ms(1);
+  SimCluster c(opt);
+  std::map<NodeId, std::vector<RoundResult>> results;
+  c.on_deliver = [&](NodeId who, const RoundResult& r, TimeNs) {
+    results[who].push_back(r);
+    c.broadcast_now(who);
+  };
+  const NodeId joiner = c.schedule_join(ms(1), /*sponsor=*/0);
+  EXPECT_EQ(joiner, 6u);
+  c.broadcast_all_now();
+  // Run well past the join submission plus a few commit rounds.
+  c.run_for(ms(3));
+  // The joiner participates and delivers rounds after its activation.
+  ASSERT_TRUE(c.exists(joiner));
+  EXPECT_TRUE(c.alive(joiner));
+  ASSERT_FALSE(results[joiner].empty());
+  EXPECT_EQ(results[joiner].back().view_size, 7u);
+  // Everyone agrees on the view growth.
+  for (NodeId id : c.live_nodes()) {
+    EXPECT_EQ(results[id].back().view_size, 7u) << "node " << id;
+  }
+}
+
+TEST(SimCluster, FailThenJoinRestoresSize) {
+  ClusterOptions opt;
+  opt.n = 8;
+  opt.detection_delay = ms(1);
+  SimCluster c(opt);
+  std::map<NodeId, std::vector<RoundResult>> results;
+  c.on_deliver = [&](NodeId who, const RoundResult& r, TimeNs) {
+    results[who].push_back(r);
+    c.broadcast_now(who);
+  };
+  c.crash_at(4, ms(2));
+  c.schedule_join(ms(4), /*sponsor=*/1);
+  c.broadcast_all_now();
+  // Past the crash (plus detection) and the join commit.
+  c.run_for(ms(10));
+  for (NodeId id : c.live_nodes()) {
+    EXPECT_EQ(results[id].back().view_size, 8u) << "node " << id;
+    EXPECT_NE(id, 4u);
+  }
+  EXPECT_GE(results[c.live_nodes().back()].size(), 3u);
+}
+
+TEST(SimCluster, PayloadsFlowThroughFabric) {
+  ClusterOptions opt;
+  opt.n = 6;
+  SimCluster c(opt);
+  std::set<NodeId> saw_payload;
+  c.on_deliver = [&](NodeId who, const RoundResult& r, TimeNs) {
+    for (const auto& d : r.deliveries) {
+      if (d.origin == 2 && d.payload) {
+        const auto reqs = core::unpack_batch(d.payload);
+        ASSERT_TRUE(reqs.has_value());
+        ASSERT_EQ(reqs->size(), 1u);
+        EXPECT_EQ((*reqs)[0].data, (std::vector<std::uint8_t>{1, 2, 3}));
+        saw_payload.insert(who);
+      }
+    }
+  };
+  c.submit(2, Request::of_data({1, 2, 3}));
+  c.broadcast_all_now();
+  ASSERT_TRUE(c.run_until_round_done(0, sec(1)));
+  EXPECT_EQ(saw_payload.size(), 6u);
+}
+
+TEST(SimCluster, DeterministicAcrossRuns) {
+  auto run = [] {
+    ClusterOptions opt;
+    opt.n = 8;
+    SimCluster c(opt);
+    TimeNs last = 0;
+    c.on_deliver = [&](NodeId, const RoundResult&, TimeNs t) {
+      last = std::max(last, t);
+    };
+    c.broadcast_all_now();
+    c.run_until_round_done(0, sec(1));
+    return last;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SimCluster, BroadcastTimesRecorded) {
+  ClusterOptions opt;
+  opt.n = 6;
+  SimCluster c(opt);
+  c.on_deliver = [](NodeId, const RoundResult&, TimeNs) {};
+  c.broadcast_all_now();
+  c.run_until_round_done(0, sec(1));
+  for (NodeId id : c.live_nodes()) {
+    EXPECT_TRUE(c.broadcast_time(id, 0).has_value()) << "node " << id;
+  }
+  EXPECT_FALSE(c.broadcast_time(0, 99).has_value());
+}
+
+}  // namespace
+}  // namespace allconcur::api

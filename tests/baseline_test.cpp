@@ -1,0 +1,113 @@
+// Baseline sanity: the unreliable allgather and the leader-based group
+// must exhibit the structural properties §4.5 compares against.
+#include <gtest/gtest.h>
+
+#include "baseline/allgather.hpp"
+#include "baseline/leader_based.hpp"
+
+namespace allconcur::baseline {
+namespace {
+
+sim::FabricParams fast_fabric() {
+  auto p = sim::FabricParams::tcp_xc40();
+  p.congestion_threshold_bytes = 0;
+  return p;
+}
+
+TEST(Allgather, RingCompletes) {
+  AllgatherParams p;
+  p.n = 8;
+  p.block_bytes = 1024;
+  p.rounds = 3;
+  const auto r = run_allgather(p, fast_fabric());
+  EXPECT_GT(r.total_time, 0);
+  EXPECT_GT(r.agreement_gbps, 0.0);
+}
+
+TEST(Allgather, RecursiveDoublingCompletes) {
+  AllgatherParams p;
+  p.n = 16;
+  p.block_bytes = 256;
+  p.rounds = 3;
+  p.algo = AllgatherAlgo::kRecursiveDoubling;
+  const auto r = run_allgather(p, fast_fabric());
+  EXPECT_GT(r.total_time, 0);
+}
+
+TEST(Allgather, ThroughputRisesWithBatching) {
+  AllgatherParams small, large;
+  small.n = large.n = 8;
+  small.rounds = large.rounds = 3;
+  small.block_bytes = 8 * 128;     // 2^7 8-byte requests
+  large.block_bytes = 8 * 8192;    // 2^13
+  EXPECT_GT(run_allgather(large, fast_fabric()).agreement_gbps,
+            run_allgather(small, fast_fabric()).agreement_gbps);
+}
+
+TEST(Allgather, RingNearStreamRateAtLargeBatch) {
+  // Ring allgather at large batch should approach the per-stream rate
+  // (~1/0.65 ns per byte = 12.3 Gbps on the XC40 profile).
+  AllgatherParams p;
+  p.n = 8;
+  p.block_bytes = 8 * 32768;
+  p.rounds = 3;
+  const auto r = run_allgather(p, fast_fabric());
+  EXPECT_GT(r.agreement_gbps, 6.0);
+  EXPECT_LT(r.agreement_gbps, 14.0);
+}
+
+TEST(LeaderBased, CompletesAndReportsThroughput) {
+  LeaderBasedParams p;
+  p.n = 8;
+  p.batch_bytes = 1024;
+  p.rounds = 3;
+  const auto r = run_leader_based(p, fast_fabric());
+  EXPECT_GT(r.total_time, 0);
+  EXPECT_GT(r.agreement_gbps, 0.0);
+}
+
+TEST(LeaderBased, LeaderDoesQuadraticWork) {
+  LeaderBasedParams p;
+  p.n = 16;
+  p.batch_bytes = 64;
+  p.rounds = 2;
+  const auto r = run_leader_based(p, fast_fabric());
+  // Per round the leader handles >= n receives + n*(n + group) sends/acks.
+  EXPECT_GE(r.leader_messages,
+            p.rounds * (p.n + p.n * p.n));
+  EXPECT_LE(r.server_messages, p.rounds * (1 + p.n));
+}
+
+TEST(LeaderBased, DecreeCpuThrottlesThroughput) {
+  LeaderBasedParams fast, slow;
+  fast.n = slow.n = 8;
+  fast.batch_bytes = slow.batch_bytes = 8 * 4096;
+  fast.rounds = slow.rounds = 3;
+  fast.decree_cpu_fixed = us(50);
+  fast.decree_cpu_ns_per_byte = 1.0;
+  slow.decree_cpu_fixed = us(500);
+  slow.decree_cpu_ns_per_byte = 10.0;
+  EXPECT_GT(run_leader_based(fast, fast_fabric()).agreement_gbps,
+            2 * run_leader_based(slow, fast_fabric()).agreement_gbps);
+}
+
+TEST(LeaderBased, ThroughputDropsAtLargeScale) {
+  // §4.5: the leader's O(n^2) byte volume eventually dominates the decree
+  // pipeline. At moderate n the single-threaded decree engine is the
+  // bottleneck and throughput stays flat — exactly the bunched curves of
+  // Fig. 10c — while at n=512 the leader NIC cost takes over.
+  LeaderBasedParams small, mid, large;
+  small.batch_bytes = mid.batch_bytes = large.batch_bytes = 8 * 4096;
+  small.rounds = mid.rounds = large.rounds = 3;
+  small.n = 8;
+  mid.n = 64;
+  large.n = 512;
+  const double t_small = run_leader_based(small, fast_fabric()).agreement_gbps;
+  const double t_mid = run_leader_based(mid, fast_fabric()).agreement_gbps;
+  const double t_large = run_leader_based(large, fast_fabric()).agreement_gbps;
+  EXPECT_GT(1.3 * t_small, t_mid);  // flat-ish up to mid scale
+  EXPECT_GT(t_small, 2 * t_large);  // collapses at large n
+}
+
+}  // namespace
+}  // namespace allconcur::baseline

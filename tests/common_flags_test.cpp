@@ -1,0 +1,56 @@
+#include "common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace allconcur {
+namespace {
+
+Flags make_flags(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsSyntax) {
+  const Flags f = make_flags({"--n=32", "--rate=1.5"});
+  EXPECT_EQ(f.get_int("n", 0), 32);
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0.0), 1.5);
+}
+
+TEST(Flags, SpaceSyntax) {
+  const Flags f = make_flags({"--series", "allconcur"});
+  EXPECT_EQ(f.get("series", ""), "allconcur");
+}
+
+TEST(Flags, BareBoolFlag) {
+  const Flags f = make_flags({"--full"});
+  EXPECT_TRUE(f.get_bool("full", false));
+  EXPECT_FALSE(f.get_bool("other", false));
+}
+
+TEST(Flags, Defaults) {
+  const Flags f = make_flags({});
+  EXPECT_EQ(f.get_int("n", 8), 8);
+  EXPECT_EQ(f.get("name", "x"), "x");
+  EXPECT_FALSE(f.has("n"));
+}
+
+TEST(Flags, IntList) {
+  const Flags f = make_flags({"--sizes=8,16,32"});
+  const auto v = f.get_int_list("sizes", {});
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], 8);
+  EXPECT_EQ(v[2], 32);
+}
+
+TEST(Flags, IntListDefault) {
+  const Flags f = make_flags({});
+  const auto v = f.get_int_list("sizes", {1, 2});
+  ASSERT_EQ(v.size(), 2u);
+}
+
+}  // namespace
+}  // namespace allconcur

@@ -1,0 +1,74 @@
+#include "common/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace allconcur {
+namespace {
+
+TEST(Math, LogChooseSmallValues) {
+  EXPECT_NEAR(std::exp(log_choose(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_choose(10, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_choose(10, 10)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_choose(52, 5)), 2598960.0, 1e-3);
+}
+
+TEST(Math, BinomialPmfSumsToOne) {
+  double total = 0.0;
+  for (std::uint64_t k = 0; k <= 20; ++k) {
+    total += binomial_pmf(20, k, 0.3);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Math, BinomialPmfDegenerateP) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 10, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 9, 1.0), 0.0);
+}
+
+TEST(Math, TailMatchesDirectSum) {
+  const double p = 0.2;
+  double direct = 0.0;
+  for (std::uint64_t i = 3; i <= 12; ++i) direct += binomial_pmf(12, i, p);
+  EXPECT_NEAR(binomial_tail_geq(12, 3, p), direct, 1e-12);
+}
+
+TEST(Math, TailEdgeCases) {
+  EXPECT_DOUBLE_EQ(binomial_tail_geq(10, 0, 0.5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_tail_geq(10, 11, 0.5), 0.0);
+}
+
+TEST(Math, CdfComplement) {
+  EXPECT_NEAR(binomial_cdf_lt(30, 4, 0.1) + binomial_tail_geq(30, 4, 0.1),
+              1.0, 1e-12);
+}
+
+TEST(Math, FailureProbabilityMatchesPaperRegime) {
+  // Δ = 24h, MTTF = 2 years: p_f = 1 - e^{-24/17532} ≈ 0.00137.
+  const double p = failure_probability(24.0, 2.0 * 365.25 * 24.0);
+  EXPECT_NEAR(p, 0.0013680, 1e-6);
+}
+
+TEST(Math, FailureProbabilityZeroInterval) {
+  EXPECT_DOUBLE_EQ(failure_probability(0.0, 100.0), 0.0);
+}
+
+TEST(Math, NinesValues) {
+  EXPECT_NEAR(nines(0.999999), 6.0, 1e-9);
+  EXPECT_NEAR(nines(0.9), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(nines(1.0), 20.0);
+}
+
+TEST(Math, FloorLog2) {
+  EXPECT_EQ(floor_log2(1), 0u);
+  EXPECT_EQ(floor_log2(2), 1u);
+  EXPECT_EQ(floor_log2(3), 1u);
+  EXPECT_EQ(floor_log2(1024), 10u);
+  EXPECT_EQ(floor_log2(1025), 10u);
+}
+
+}  // namespace
+}  // namespace allconcur

@@ -1,0 +1,80 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace allconcur {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_NEAR(s.stddev(), 1.5811388, 1e-6);
+}
+
+TEST(Summary, MedianOddAndEven) {
+  Summary odd;
+  for (double v : {5.0, 1.0, 3.0}) odd.add(v);
+  EXPECT_DOUBLE_EQ(odd.median(), 3.0);
+
+  Summary even;
+  for (double v : {4.0, 1.0, 3.0, 2.0}) even.add(v);
+  EXPECT_DOUBLE_EQ(even.median(), 2.5);
+}
+
+TEST(Summary, QuantileEndpoints) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.quantile(0.95), 95.05, 1e-9);
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(7.5);
+  EXPECT_DOUBLE_EQ(s.median(), 7.5);
+  EXPECT_DOUBLE_EQ(s.quantile(0.3), 7.5);
+  const auto ci = s.median_ci95();
+  EXPECT_DOUBLE_EQ(ci.lo, 7.5);
+  EXPECT_DOUBLE_EQ(ci.hi, 7.5);
+}
+
+TEST(Summary, MedianCiBracketsMedian) {
+  Rng rng(5);
+  Summary s;
+  for (int i = 0; i < 1001; ++i) s.add(rng.next_double());
+  const auto ci = s.median_ci95();
+  EXPECT_LE(ci.lo, ci.median);
+  EXPECT_GE(ci.hi, ci.median);
+  EXPECT_NEAR(ci.median, 0.5, 0.05);
+  // For n=1001 uniform samples, the CI should be tight around 0.5.
+  EXPECT_NEAR(ci.lo, 0.5, 0.08);
+  EXPECT_NEAR(ci.hi, 0.5, 0.08);
+  EXPECT_LT(ci.lo, ci.hi);
+}
+
+TEST(Summary, CiWidthShrinksWithSampleCount) {
+  Rng rng(6);
+  Summary small, large;
+  for (int i = 0; i < 51; ++i) small.add(rng.next_double());
+  for (int i = 0; i < 5001; ++i) large.add(rng.next_double());
+  const auto ci_small = small.median_ci95();
+  const auto ci_large = large.median_ci95();
+  EXPECT_LT(ci_large.hi - ci_large.lo, ci_small.hi - ci_small.lo);
+}
+
+TEST(Summary, AddAll) {
+  Summary s;
+  s.add_all({3.0, 1.0, 2.0});
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.median(), 2.0);
+}
+
+}  // namespace
+}  // namespace allconcur

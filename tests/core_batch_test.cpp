@@ -1,0 +1,75 @@
+#include "core/batch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace allconcur::core {
+namespace {
+
+TEST(Batch, EmptyBatchIsNullPayload) {
+  EXPECT_EQ(pack_batch({}), nullptr);
+  const auto requests = unpack_batch(nullptr);
+  ASSERT_TRUE(requests.has_value());
+  EXPECT_TRUE(requests->empty());
+}
+
+TEST(Batch, RoundTripData) {
+  std::vector<Request> in;
+  in.push_back(Request::of_data({1, 2, 3}));
+  in.push_back(Request::of_data({}));
+  in.push_back(Request::of_data({0xff}));
+  const auto out = unpack_batch(pack_batch(in));
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_EQ((*out)[0].data, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_TRUE((*out)[1].data.empty());
+  EXPECT_EQ((*out)[2].data, (std::vector<std::uint8_t>{0xff}));
+  for (const auto& r : *out) EXPECT_EQ(r.kind, Request::Kind::kData);
+}
+
+TEST(Batch, RoundTripControl) {
+  std::vector<Request> in{Request::join(42), Request::leave(17),
+                          Request::of_data({5})};
+  const auto out = unpack_batch(pack_batch(in));
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_EQ((*out)[0].kind, Request::Kind::kJoin);
+  EXPECT_EQ((*out)[0].subject, 42u);
+  EXPECT_EQ((*out)[1].kind, Request::Kind::kLeave);
+  EXPECT_EQ((*out)[1].subject, 17u);
+  EXPECT_EQ((*out)[2].kind, Request::Kind::kData);
+}
+
+TEST(Batch, SizeIsNinePlusDataPerRequest) {
+  std::vector<Request> in{Request::of_data(std::vector<std::uint8_t>(64, 7))};
+  const auto p = pack_batch(in);
+  ASSERT_TRUE(p != nullptr);
+  EXPECT_EQ(p->size(), 9u + 64u);
+}
+
+TEST(Batch, UnpackRejectsTruncated) {
+  const auto p = pack_batch({Request::of_data({1, 2, 3, 4})});
+  auto bytes = *p;
+  bytes.pop_back();
+  EXPECT_FALSE(unpack_batch(make_payload(std::move(bytes))).has_value());
+}
+
+TEST(Batch, UnpackRejectsBadKind) {
+  auto bytes = *pack_batch({Request::of_data({1})});
+  bytes[0] = 9;
+  EXPECT_FALSE(unpack_batch(make_payload(std::move(bytes))).has_value());
+}
+
+TEST(Batch, LargeBatchRoundTrip) {
+  std::vector<Request> in;
+  for (int i = 0; i < 1000; ++i) {
+    in.push_back(Request::of_data(
+        std::vector<std::uint8_t>(8, static_cast<std::uint8_t>(i))));
+  }
+  const auto out = unpack_batch(pack_batch(in));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(out->size(), 1000u);
+  EXPECT_EQ((*out)[999].data[0], static_cast<std::uint8_t>(999));
+}
+
+}  // namespace
+}  // namespace allconcur::core

@@ -1,0 +1,221 @@
+// Engine-level membership mechanics: voluntary leaves, joins through
+// batches, next-round buffering, stale/foreign drops and departed-engine
+// behaviour.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "core/engine.hpp"
+#include "graph/gs_digraph.hpp"
+#include "loopback_cluster.hpp"
+
+namespace allconcur::core {
+namespace {
+
+using testing::LoopbackCluster;
+
+GraphBuilder builder() {
+  return [](std::size_t n) {
+    return n < 6 ? graph::make_complete(n) : graph::make_gs_digraph(n, 3);
+  };
+}
+
+TEST(Leave, VoluntaryDepartureShrinksView) {
+  LoopbackCluster c(8, builder());
+  // Server 3 announces its own departure; the request is agreed like any
+  // other, so every server applies it at the same round boundary.
+  c.engine(3).submit(Request::leave(3));
+  for (NodeId i = 0; i < 8; ++i) c.engine(i).broadcast_now();
+  c.pump();
+  for (NodeId i = 0; i < 8; ++i) {
+    ASSERT_TRUE(c.has_delivered(i));
+    const auto& r0 = c.delivered(i)[0];
+    // The leave round itself still contains the leaver's message.
+    EXPECT_EQ(r0.deliveries.size(), 8u);
+    EXPECT_TRUE(r0.removed.empty());
+  }
+  EXPECT_TRUE(c.engine(3).departed());
+  // Next round runs without server 3.
+  for (NodeId i = 0; i < 8; ++i) {
+    if (i != 3) c.engine(i).broadcast_now();
+  }
+  c.pump();
+  for (NodeId i = 0; i < 8; ++i) {
+    if (i == 3) continue;
+    ASSERT_EQ(c.delivered(i).size(), 2u) << "server " << i;
+    EXPECT_EQ(c.delivered(i)[1].view_size, 7u);
+    EXPECT_EQ(c.delivered(i)[1].deliveries.size(), 7u);
+  }
+}
+
+TEST(Leave, ThirdPartyEviction) {
+  // An administrator at server 0 evicts server 5 (e.g. for maintenance).
+  LoopbackCluster c(8, builder());
+  c.engine(0).submit(Request::leave(5));
+  for (NodeId i = 0; i < 8; ++i) c.engine(i).broadcast_now();
+  c.pump();
+  EXPECT_TRUE(c.engine(5).departed());
+  for (NodeId i = 0; i < 8; ++i) {
+    if (i != 5) c.engine(i).broadcast_now();
+  }
+  c.pump();
+  EXPECT_EQ(c.delivered(0)[1].view_size, 7u);
+}
+
+TEST(Leave, DepartedEngineIgnoresEverything) {
+  LoopbackCluster c(8, builder());
+  c.engine(3).submit(Request::leave(3));
+  for (NodeId i = 0; i < 8; ++i) c.engine(i).broadcast_now();
+  c.pump();
+  ASSERT_TRUE(c.engine(3).departed());
+  const auto rounds_before = c.delivered(3).size();
+  c.engine(3).broadcast_now();
+  c.engine(3).on_message(0, Message::bcast(1, 0, nullptr));
+  c.engine(3).on_suspect(0);
+  c.pump();
+  EXPECT_EQ(c.delivered(3).size(), rounds_before);
+  // Frozen at the departure round: the transition to round 1 never runs.
+  EXPECT_EQ(c.engine(3).current_round(), 0u);
+}
+
+TEST(Join, CommitsThroughAgreedBatch) {
+  LoopbackCluster c(6, builder());
+  c.engine(2).submit(Request::join(17));
+  for (NodeId i = 0; i < 6; ++i) c.engine(i).broadcast_now();
+  c.pump();
+  for (NodeId i = 0; i < 6; ++i) {
+    const auto& r = c.delivered(i)[0];
+    EXPECT_EQ(r.joined, (std::vector<NodeId>{17}));
+    EXPECT_TRUE(c.engine(i).view().contains(17));
+  }
+}
+
+TEST(Join, DuplicateJoinRequestsDeduplicated) {
+  LoopbackCluster c(6, builder());
+  c.engine(0).submit(Request::join(17));
+  c.engine(3).submit(Request::join(17));
+  for (NodeId i = 0; i < 6; ++i) c.engine(i).broadcast_now();
+  c.pump();
+  EXPECT_EQ(c.delivered(1)[0].joined, (std::vector<NodeId>{17}));
+  EXPECT_EQ(c.engine(1).view().size(), 7u);
+}
+
+TEST(Join, ExistingMemberJoinIgnored) {
+  LoopbackCluster c(6, builder());
+  c.engine(0).submit(Request::join(3));  // already a member
+  for (NodeId i = 0; i < 6; ++i) c.engine(i).broadcast_now();
+  c.pump();
+  EXPECT_TRUE(c.delivered(1)[0].joined.empty());
+  EXPECT_EQ(c.engine(1).view().size(), 6u);
+}
+
+TEST(Buffering, NextRoundMessagesReplayAfterTransition) {
+  std::vector<NodeId> members{0, 1, 2};
+  std::vector<std::pair<NodeId, Message>> sent;
+  std::vector<RoundResult> delivered;
+  Engine::Hooks hooks;
+  hooks.send = [&](NodeId dst, const Message& m) { sent.emplace_back(dst, m); };
+  hooks.deliver = [&](const RoundResult& r) { delivered.push_back(r); };
+  Engine e(0, View(members, builder()), builder(), hooks);
+
+  // Round-1 messages arrive while still in round 0: buffered.
+  e.on_message(1, Message::bcast(1, 1, nullptr));
+  e.on_message(2, Message::bcast(1, 2, nullptr));
+  EXPECT_TRUE(delivered.empty());
+  EXPECT_EQ(e.current_round(), 0u);
+
+  // Complete round 0. The buffer replays immediately after the
+  // transition, and the replayed broadcasts trigger our own round-1
+  // message (Algorithm 1 line 15) — so round 1 finishes right away.
+  e.broadcast_now();
+  e.on_message(1, Message::bcast(0, 1, nullptr));
+  e.on_message(2, Message::bcast(0, 2, nullptr));
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(delivered[0].round, 0u);
+  EXPECT_EQ(delivered[1].round, 1u);
+  EXPECT_EQ(delivered[1].deliveries.size(), 3u);
+  EXPECT_EQ(e.current_round(), 2u);
+}
+
+TEST(Drops, StaleAndFarFutureCounted) {
+  std::vector<NodeId> members{0, 1, 2};
+  Engine::Hooks hooks;
+  hooks.send = [](NodeId, const Message&) {};
+  hooks.deliver = [](const RoundResult&) {};
+  Engine e(0, View(members, builder()), builder(), hooks);
+
+  // Advance to round 1.
+  e.broadcast_now();
+  e.on_message(1, Message::bcast(0, 1, nullptr));
+  e.on_message(2, Message::bcast(0, 2, nullptr));
+  ASSERT_EQ(e.current_round(), 1u);
+
+  const auto before = e.stats().dropped_stale;
+  e.on_message(1, Message::bcast(0, 1, nullptr));  // round 0: stale
+  EXPECT_EQ(e.stats().dropped_stale, before + 1);
+
+  // Round 3 (> current+1): silently discarded, engine stays put.
+  e.on_message(1, Message::bcast(3, 1, nullptr));
+  EXPECT_EQ(e.current_round(), 1u);
+}
+
+TEST(Drops, ForeignOriginCounted) {
+  std::vector<NodeId> members{0, 1, 2};
+  Engine::Hooks hooks;
+  hooks.send = [](NodeId, const Message&) {};
+  hooks.deliver = [](const RoundResult&) {};
+  Engine e(0, View(members, builder()), builder(), hooks);
+  const auto before = e.stats().dropped_foreign;
+  e.on_message(1, Message::bcast(0, 99, nullptr));  // 99 not a member
+  EXPECT_EQ(e.stats().dropped_foreign, before + 1);
+}
+
+TEST(Drops, HeartbeatsNeverReachTheProtocol) {
+  std::vector<NodeId> members{0, 1, 2};
+  Engine::Hooks hooks;
+  hooks.send = [](NodeId, const Message&) {};
+  hooks.deliver = [](const RoundResult&) {};
+  Engine e(0, View(members, builder()), builder(), hooks);
+  e.on_message(1, Message::heartbeat(1));
+  EXPECT_EQ(e.stats().bcast_received, 0u);
+  EXPECT_EQ(e.stats().dropped_stale, 0u);
+}
+
+TEST(NonContiguousIds, EngineWorksOnSparseIdSpace) {
+  // Members with arbitrary global ids; ranks are internal.
+  std::vector<NodeId> members{5, 100, 2000, 31, 7, 12, 900, 44};
+  std::vector<std::unique_ptr<Engine>> engines;
+  std::deque<std::tuple<NodeId, NodeId, Message>> queue;
+  std::map<NodeId, RoundResult> results;
+  for (NodeId id : members) {
+    Engine::Hooks hooks;
+    hooks.send = [&queue, id](NodeId dst, const Message& m) {
+      queue.emplace_back(id, dst, m);
+    };
+    hooks.deliver = [&results, id](const RoundResult& r) { results[id] = r; };
+    engines.push_back(std::make_unique<Engine>(id, View(members, builder()),
+                                               builder(), hooks));
+  }
+  for (auto& e : engines) e->broadcast_now();
+  std::map<NodeId, Engine*> by_id;
+  for (auto& e : engines) by_id[e->self()] = e.get();
+  while (!queue.empty()) {
+    auto [src, dst, msg] = queue.front();
+    queue.pop_front();
+    by_id.at(dst)->on_message(src, msg);
+  }
+  ASSERT_EQ(results.size(), members.size());
+  for (const auto& [id, r] : results) {
+    EXPECT_EQ(r.deliveries.size(), members.size()) << "server " << id;
+    // Deterministic order = ascending global id.
+    for (std::size_t k = 0; k + 1 < r.deliveries.size(); ++k) {
+      EXPECT_LT(r.deliveries[k].origin, r.deliveries[k + 1].origin);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace allconcur::core

@@ -1,0 +1,162 @@
+#include "core/failure_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "core/logp_model.hpp"
+
+namespace allconcur::core {
+namespace {
+
+struct FdFixture {
+  std::vector<std::pair<NodeId, Message>> sent;
+  std::vector<NodeId> suspected;
+
+  HeartbeatFd make(NodeId self, HeartbeatFd::Params params) {
+    HeartbeatFd::Hooks hooks;
+    hooks.send = [this](NodeId dst, const Message& m) {
+      sent.emplace_back(dst, m);
+    };
+    hooks.suspect = [this](NodeId s) { suspected.push_back(s); };
+    return HeartbeatFd(self, params, hooks);
+  }
+};
+
+TEST(HeartbeatFd, SendsHeartbeatsAtPeriod) {
+  FdFixture fx;
+  auto fd = fx.make(0, {.period = ms(10), .timeout = ms(100)});
+  fd.set_peers({1, 2}, {3}, 0);
+  fd.tick(0);
+  EXPECT_EQ(fx.sent.size(), 2u);
+  fd.tick(ms(5));  // not due yet
+  EXPECT_EQ(fx.sent.size(), 2u);
+  fd.tick(ms(10));
+  EXPECT_EQ(fx.sent.size(), 4u);
+  EXPECT_EQ(fx.sent[0].second.type, MsgType::kHeartbeat);
+}
+
+TEST(HeartbeatFd, SuspectsAfterTimeout) {
+  FdFixture fx;
+  auto fd = fx.make(0, {.period = ms(10), .timeout = ms(100)});
+  fd.set_peers({}, {7}, 0);
+  fd.tick(ms(50));
+  EXPECT_TRUE(fx.suspected.empty());
+  fd.tick(ms(100));
+  ASSERT_EQ(fx.suspected.size(), 1u);
+  EXPECT_EQ(fx.suspected[0], 7u);
+  EXPECT_TRUE(fd.is_suspected(7));
+  // No duplicate verdicts.
+  fd.tick(ms(200));
+  EXPECT_EQ(fx.suspected.size(), 1u);
+}
+
+TEST(HeartbeatFd, HeartbeatResetsTimeout) {
+  FdFixture fx;
+  auto fd = fx.make(0, {.period = ms(10), .timeout = ms(100)});
+  fd.set_peers({}, {7}, 0);
+  fd.on_heartbeat(7, ms(90));
+  fd.tick(ms(150));
+  EXPECT_TRUE(fx.suspected.empty());
+  fd.tick(ms(190));
+  EXPECT_EQ(fx.suspected.size(), 1u);
+}
+
+TEST(HeartbeatFd, AdaptiveModeRehabilitatesAndBacksOff) {
+  FdFixture fx;
+  auto fd = fx.make(0, {.period = ms(10), .timeout = ms(100), .adaptive = true});
+  fd.set_peers({}, {7}, 0);
+  fd.tick(ms(100));
+  EXPECT_TRUE(fd.is_suspected(7));
+  const auto old_timeout = fd.current_timeout();
+  fd.on_heartbeat(7, ms(120));  // peer was alive after all
+  EXPECT_FALSE(fd.is_suspected(7));
+  EXPECT_GT(fd.current_timeout(), old_timeout);
+}
+
+TEST(HeartbeatFd, NonAdaptiveStaysSuspected) {
+  FdFixture fx;
+  auto fd = fx.make(0, {.period = ms(10), .timeout = ms(100)});
+  fd.set_peers({}, {7}, 0);
+  fd.tick(ms(100));
+  fd.on_heartbeat(7, ms(120));
+  EXPECT_TRUE(fd.is_suspected(7));
+}
+
+TEST(HeartbeatFd, SetPeersPreservesState) {
+  FdFixture fx;
+  auto fd = fx.make(0, {.period = ms(10), .timeout = ms(100)});
+  fd.set_peers({}, {7, 8}, 0);
+  fd.on_heartbeat(7, ms(50));
+  fd.set_peers({}, {7, 9}, ms(60));  // 8 dropped, 9 added
+  fd.tick(ms(155));
+  // 7 heard at 50 -> timeout at 150 -> suspected; 9 joined at 60 ->
+  // timeout at 160 -> not yet.
+  ASSERT_EQ(fx.suspected.size(), 1u);
+  EXPECT_EQ(fx.suspected[0], 7u);
+  fd.tick(ms(165));
+  EXPECT_EQ(fx.suspected.size(), 2u);
+}
+
+TEST(FdAccuracy, MatchesHandComputedValue) {
+  // Δto/Δhb = 2 beats; exponential tail with mean 10: the probability a
+  // single link misses both beats is e^{-(20-10)/10} * e^{-(20-20)/10} =
+  // e^{-1} * 1; per-link accuracy 1 - e^{-1}; exponent n*d = 6.
+  const double p = fd_accuracy_lower_bound(3, 2, 10.0, 20.0,
+                                           exponential_delay_tail(10.0));
+  const double per_link = 1.0 - std::exp(-1.0);
+  EXPECT_NEAR(p, std::pow(per_link, 6.0), 1e-12);
+}
+
+TEST(FdAccuracy, ImprovesWithLongerTimeout) {
+  const auto tail = exponential_delay_tail(1.0);
+  const double short_to = fd_accuracy_lower_bound(64, 5, 1.0, 4.0, tail);
+  const double long_to = fd_accuracy_lower_bound(64, 5, 1.0, 16.0, tail);
+  EXPECT_GT(long_to, short_to);
+}
+
+TEST(FdAccuracy, ImprovesWithFasterHeartbeats) {
+  const auto tail = exponential_delay_tail(1.0);
+  const double slow = fd_accuracy_lower_bound(64, 5, 4.0, 16.0, tail);
+  const double fast = fd_accuracy_lower_bound(64, 5, 1.0, 16.0, tail);
+  EXPECT_GT(fast, slow);
+}
+
+TEST(FdAccuracy, DegradesWithScale) {
+  const auto tail = exponential_delay_tail(1.0);
+  EXPECT_GT(fd_accuracy_lower_bound(8, 3, 1.0, 8.0, tail),
+            fd_accuracy_lower_bound(1024, 11, 1.0, 8.0, tail));
+}
+
+TEST(LogPModel, WorkAndDepthFormulas) {
+  const LogP p{.latency_ns = 1250.0, .overhead_ns = 380.0};
+  // 2(n-1)do with n=8, d=3.
+  EXPECT_NEAR(logp_work_bound_ns(8, 3, p), 2.0 * 7 * 3 * 380.0, 1e-9);
+  // 2(L + o(d+1)/2 + o)*D with d=3, D=2.
+  EXPECT_NEAR(logp_depth_ns(3, 2, p), 2.0 * (1250.0 + 760.0 + 380.0) * 2,
+              1e-9);
+}
+
+TEST(LogPModel, MessagesPerServer) {
+  EXPECT_EQ(messages_per_server(8, 3, 0), 24u);
+  EXPECT_EQ(messages_per_server(8, 3, 2), 24u + 18u);
+}
+
+TEST(LogPModel, DepthProbabilityNearOneForPaperNumbers) {
+  // §4.2.2: 256 servers, d=7, o=1.8us, MTTF=2y: 1M rounds stay within the
+  // fault diameter with probability > 99.99%.
+  const double mttf_ns = 2.0 * 365.25 * 24 * 3600 * 1e9;
+  const double p_round =
+      prob_depth_within_fault_diameter(256, 7, 1800.0, mttf_ns);
+  EXPECT_GT(std::pow(p_round, 1e6), 0.9999);
+}
+
+TEST(LogPModel, WorstCaseDepthGrowsWithF) {
+  const LogP p{.latency_ns = 12000.0, .overhead_ns = 1800.0};
+  EXPECT_LT(worst_case_depth_ns(0, 3, 4, p), worst_case_depth_ns(3, 4, 4, p));
+}
+
+}  // namespace
+}  // namespace allconcur::core

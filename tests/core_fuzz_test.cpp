@@ -1,0 +1,117 @@
+// Fuzz-style robustness tests: the wire decoder and the batch parser must
+// handle arbitrary bytes without crashing (the TCP transport feeds them
+// whatever arrives on a socket), and the engine must survive arbitrary
+// well-formed-but-hostile message sequences.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/batch.hpp"
+#include "core/engine.hpp"
+#include "core/message.hpp"
+#include "graph/digraph.hpp"
+
+namespace allconcur::core {
+namespace {
+
+TEST(Fuzz, DecoderSurvivesRandomBytes) {
+  Rng rng(0xf00d);
+  for (int iter = 0; iter < 20000; ++iter) {
+    const std::size_t len = rng.next_below(96);
+    std::vector<std::uint8_t> bytes(len);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u64());
+    // Must not crash; may or may not parse.
+    const auto msg = decode(bytes);
+    if (msg) {
+      // If it parsed, the declared length must be consistent.
+      EXPECT_LE(Message::kHeaderBytes + msg->payload_bytes, len);
+    }
+  }
+}
+
+TEST(Fuzz, DecoderRoundTripsMutatedHeaders) {
+  Rng rng(0xbeef);
+  const auto base = encode(Message::bcast(3, 1, make_payload({1, 2, 3, 4})));
+  for (int iter = 0; iter < 5000; ++iter) {
+    auto bytes = base;
+    bytes[rng.next_below(bytes.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.next_below(255));
+    const auto msg = decode(bytes);  // must not crash
+    (void)msg;
+  }
+}
+
+TEST(Fuzz, BatchParserSurvivesRandomBytes) {
+  Rng rng(0xcafe);
+  for (int iter = 0; iter < 20000; ++iter) {
+    const std::size_t len = rng.next_below(64);
+    std::vector<std::uint8_t> bytes(len);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u64());
+    const auto batch = unpack_batch(make_payload(std::move(bytes)));
+    (void)batch;  // nullopt or parsed; never a crash
+  }
+}
+
+TEST(Fuzz, EngineSurvivesHostileMessageStream) {
+  // An adversary that controls a peer's link can send any well-formed
+  // protocol message. The engine may drop them, but must not crash,
+  // deliver inconsistently, or corrupt its round state.
+  Rng rng(0xdead);
+  std::vector<NodeId> members{0, 1, 2, 3, 4};
+  const auto builder = [](std::size_t n) { return graph::make_complete(n); };
+  Engine::Hooks hooks;
+  hooks.send = [](NodeId, const Message&) {};
+  std::size_t delivered = 0;
+  hooks.deliver = [&](const RoundResult&) { ++delivered; };
+  Engine e(0, View(members, builder), builder, hooks);
+
+  for (int iter = 0; iter < 50000; ++iter) {
+    const NodeId from = static_cast<NodeId>(rng.next_below(8));  // some bogus
+    Message m;
+    switch (rng.next_below(4)) {
+      case 0:
+        m = Message::bcast(rng.next_below(4),
+                           static_cast<NodeId>(rng.next_below(8)),
+                           rng.next_below(2) ? nullptr
+                                             : make_payload({1, 2, 3}));
+        break;
+      case 1:
+        m = Message::fail(rng.next_below(4),
+                          static_cast<NodeId>(rng.next_below(8)),
+                          static_cast<NodeId>(rng.next_below(8)));
+        break;
+      case 2:
+        m = Message::fwd(rng.next_below(4),
+                         static_cast<NodeId>(rng.next_below(8)));
+        break;
+      default:
+        m = Message::heartbeat(static_cast<NodeId>(rng.next_below(8)));
+        break;
+    }
+    e.on_message(from, m);
+  }
+  // The engine is still sane: round number bounded by what hostile
+  // traffic can legitimately complete.
+  EXPECT_LE(e.current_round(), 4u);
+  EXPECT_LE(delivered, 4u);
+}
+
+TEST(Fuzz, EngineSurvivesMalformedBatchPayloads) {
+  // A BCAST whose payload is not a valid batch must still be relayed and
+  // delivered (payload opacity), only the membership scan skips it.
+  std::vector<NodeId> members{0, 1, 2};
+  const auto builder = [](std::size_t n) { return graph::make_complete(n); };
+  Engine::Hooks hooks;
+  hooks.send = [](NodeId, const Message&) {};
+  std::vector<RoundResult> results;
+  hooks.deliver = [&](const RoundResult& r) { results.push_back(r); };
+  Engine e(0, View(members, builder), builder, hooks);
+  e.broadcast_now();
+  e.on_message(1, Message::bcast(0, 1, make_payload({0xff, 0xff, 0xff})));
+  e.on_message(2, Message::bcast(0, 2, nullptr));
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].deliveries.size(), 3u);
+  EXPECT_TRUE(results[0].joined.empty());
+}
+
+}  // namespace
+}  // namespace allconcur::core

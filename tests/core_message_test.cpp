@@ -1,0 +1,90 @@
+#include "core/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace allconcur::core {
+namespace {
+
+TEST(Message, Factories) {
+  const auto b = Message::bcast(3, 7, make_payload({1, 2, 3}));
+  EXPECT_EQ(b.type, MsgType::kBroadcast);
+  EXPECT_EQ(b.round, 3u);
+  EXPECT_EQ(b.origin, 7u);
+  EXPECT_EQ(b.payload_bytes, 3u);
+
+  const auto f = Message::fail(5, 2, 9);
+  EXPECT_EQ(f.type, MsgType::kFail);
+  EXPECT_EQ(f.origin, 2u);
+  EXPECT_EQ(f.detector, 9u);
+
+  const auto s = Message::bcast_sized(1, 4, 4096);
+  EXPECT_EQ(s.payload_bytes, 4096u);
+  EXPECT_EQ(s.payload, nullptr);
+}
+
+TEST(Message, WireSizeIncludesHeader) {
+  const auto m = Message::bcast(0, 0, make_payload({1, 2, 3, 4}));
+  EXPECT_EQ(m.wire_size(), Message::kHeaderBytes + 4);
+  EXPECT_EQ(Message::fail(0, 1, 2).wire_size(), Message::kHeaderBytes);
+}
+
+TEST(Message, EncodeDecodeRoundTrip) {
+  const auto original = Message::bcast(42, 17, make_payload({9, 8, 7, 6, 5}));
+  const auto bytes = encode(original);
+  const auto decoded = decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, MsgType::kBroadcast);
+  EXPECT_EQ(decoded->round, 42u);
+  EXPECT_EQ(decoded->origin, 17u);
+  ASSERT_TRUE(decoded->payload != nullptr);
+  EXPECT_EQ(*decoded->payload, (std::vector<std::uint8_t>{9, 8, 7, 6, 5}));
+}
+
+TEST(Message, EncodeDecodeAllTypes) {
+  for (const Message& m :
+       {Message::fail(1, 2, 3), Message::fwd(4, 5), Message::bwd(6, 7),
+        Message::heartbeat(8)}) {
+    const auto decoded = decode(encode(m));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->type, m.type);
+    EXPECT_EQ(decoded->round, m.round);
+    EXPECT_EQ(decoded->origin, m.origin);
+    EXPECT_EQ(decoded->detector, m.detector);
+  }
+}
+
+TEST(Message, SizeOnlyPayloadMaterializesAsZeros) {
+  const auto bytes = encode(Message::bcast_sized(0, 1, 16));
+  EXPECT_EQ(bytes.size(), Message::kHeaderBytes + 16);
+  const auto decoded = decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->payload_bytes, 16u);
+}
+
+TEST(Message, DecodeRejectsTruncated) {
+  const auto bytes = encode(Message::bcast(0, 0, make_payload({1, 2, 3})));
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(
+        decode(std::span(bytes.data(), cut)).has_value())
+        << "cut=" << cut;
+  }
+}
+
+TEST(Message, DecodeRejectsBadType) {
+  auto bytes = encode(Message::heartbeat(1));
+  bytes[0] = 0;
+  EXPECT_FALSE(decode(bytes).has_value());
+  bytes[0] = 99;
+  EXPECT_FALSE(decode(bytes).has_value());
+}
+
+TEST(Message, FrameSize) {
+  const auto bytes = encode(Message::bcast(0, 0, make_payload({1, 2})));
+  const auto f = frame_size(bytes);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(*f, bytes.size());
+  EXPECT_FALSE(frame_size(std::span(bytes.data(), 10)).has_value());
+}
+
+}  // namespace
+}  // namespace allconcur::core

@@ -1,0 +1,131 @@
+// Reconfiguration policy (§4.2.2 deployment note) and SimCluster
+// auto-healing: failed servers are replaced by standbys through ordinary
+// agreed joins, restoring the membership and its reliability target.
+#include "core/reconfig.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "api/sim_cluster.hpp"
+
+namespace allconcur::core {
+namespace {
+
+TEST(Reconfig, HealthyDeploymentNeedsNothing) {
+  ReconfigPolicy policy;
+  policy.target_nines = 6.0;
+  policy.target_size = 64;
+  const auto d = evaluate_reconfig(policy, 64, 5);
+  EXPECT_TRUE(d.meets_target);
+  EXPECT_GE(d.current_nines, 6.0);
+  EXPECT_EQ(d.replacements_needed, 0u);
+  ASSERT_TRUE(d.required_degree.has_value());
+  EXPECT_EQ(*d.required_degree, 5u);
+}
+
+TEST(Reconfig, ShrunkenDeploymentWantsReplacements) {
+  ReconfigPolicy policy;
+  policy.target_size = 64;
+  const auto d = evaluate_reconfig(policy, 60, 5);
+  EXPECT_EQ(d.replacements_needed, 4u);
+}
+
+TEST(Reconfig, DegreeTooLowFailsTarget) {
+  ReconfigPolicy policy;
+  policy.target_nines = 6.0;
+  // 256 servers on a 4-connected overlay: far below 6 nines.
+  const auto d = evaluate_reconfig(policy, 256, 4);
+  EXPECT_FALSE(d.meets_target);
+  ASSERT_TRUE(d.required_degree.has_value());
+  EXPECT_GT(*d.required_degree, 4u);
+}
+
+TEST(Reconfig, TinyViewUsesCompleteOverlay) {
+  ReconfigPolicy policy;
+  policy.target_nines = 3.0;
+  const auto d = evaluate_reconfig(policy, 4, 3);
+  ASSERT_TRUE(d.required_degree.has_value());
+  EXPECT_EQ(*d.required_degree, 3u);  // complete digraph on 4 vertices
+}
+
+TEST(Reconfig, SingleSurvivorIsTriviallyReliable) {
+  ReconfigPolicy policy;
+  const auto d = evaluate_reconfig(policy, 1, 0);
+  EXPECT_TRUE(d.meets_target);
+}
+
+// ---------------------------------------------------------------------
+// Auto-heal integration.
+// ---------------------------------------------------------------------
+
+TEST(AutoHeal, CrashTriggersReplacementJoin) {
+  api::ClusterOptions opt;
+  opt.n = 8;
+  opt.detection_delay = ms(1);
+  opt.auto_heal = true;
+  api::SimCluster c(opt);
+  std::map<NodeId, std::vector<RoundResult>> results;
+  c.on_deliver = [&](NodeId who, const RoundResult& r, TimeNs) {
+    results[who].push_back(r);
+    c.broadcast_now(who);
+  };
+  c.crash_at(5, ms(1));
+  c.broadcast_all_now();
+  c.run_for(ms(20));
+
+  // The standby (id 8) must have been admitted and the view restored to 8.
+  ASSERT_TRUE(c.exists(8));
+  EXPECT_TRUE(c.alive(8));
+  for (NodeId id : c.live_nodes()) {
+    ASSERT_FALSE(results[id].empty());
+    EXPECT_EQ(results[id].back().view_size, 8u) << "node " << id;
+  }
+  EXPECT_FALSE(c.alive(5));
+}
+
+TEST(AutoHeal, SequentialCrashesKeepHealing) {
+  api::ClusterOptions opt;
+  opt.n = 8;
+  opt.detection_delay = ms(1);
+  opt.auto_heal = true;
+  api::SimCluster c(opt);
+  std::map<NodeId, std::vector<RoundResult>> results;
+  c.on_deliver = [&](NodeId who, const RoundResult& r, TimeNs) {
+    results[who].push_back(r);
+    c.broadcast_now(who);
+  };
+  c.crash_at(3, ms(1));
+  c.crash_at(6, ms(10));
+  c.broadcast_all_now();
+  c.run_for(ms(40));
+
+  ASSERT_TRUE(c.exists(8));
+  ASSERT_TRUE(c.exists(9));
+  for (NodeId id : c.live_nodes()) {
+    EXPECT_EQ(results[id].back().view_size, 8u) << "node " << id;
+  }
+}
+
+TEST(AutoHeal, DisabledMeansShrink) {
+  api::ClusterOptions opt;
+  opt.n = 8;
+  opt.detection_delay = ms(1);
+  opt.auto_heal = false;
+  api::SimCluster c(opt);
+  std::map<NodeId, std::vector<RoundResult>> results;
+  c.on_deliver = [&](NodeId who, const RoundResult& r, TimeNs) {
+    results[who].push_back(r);
+    c.broadcast_now(who);
+  };
+  c.crash_at(5, ms(1));
+  c.broadcast_all_now();
+  c.run_for(ms(20));
+  EXPECT_FALSE(c.exists(8));
+  for (NodeId id : c.live_nodes()) {
+    EXPECT_EQ(results[id].back().view_size, 7u) << "node " << id;
+  }
+}
+
+}  // namespace
+}  // namespace allconcur::core

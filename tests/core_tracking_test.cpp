@@ -1,0 +1,164 @@
+// Unit tests of the tracking digraph in isolation (rank space, explicit
+// failure knowledge).
+#include "core/tracking.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/digraph.hpp"
+
+namespace allconcur::core {
+namespace {
+
+class FakeKnowledge final : public FailureKnowledge {
+ public:
+  bool is_failed(NodeId rank) const override { return failed.count(rank) > 0; }
+  bool has_pair(NodeId j, NodeId k) const override {
+    return pairs.count({j, k}) > 0;
+  }
+  void fail(NodeId j, NodeId k) {
+    failed.insert(j);
+    pairs.insert({j, k});
+  }
+  std::set<NodeId> failed;
+  std::set<std::pair<NodeId, NodeId>> pairs;
+};
+
+TEST(Tracking, InitialState) {
+  TrackingDigraph g;
+  g.reset(3);
+  EXPECT_FALSE(g.empty());
+  EXPECT_EQ(g.vertex_count(), 1u);
+  EXPECT_TRUE(g.contains(3));
+  EXPECT_EQ(g.root(), 3u);
+
+  TrackingDigraph e;
+  e.reset_empty();
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Tracking, ClearOnReceive) {
+  TrackingDigraph g;
+  g.reset(0);
+  g.clear();
+  EXPECT_TRUE(g.empty());
+}
+
+TEST(Tracking, FirstFailureExpandsSuccessorsExceptDetector) {
+  const auto overlay = graph::make_complete(5);
+  TrackingDigraph g;
+  g.reset(0);
+  FakeKnowledge fk;
+  fk.fail(0, 1);
+  EXPECT_FALSE(g.on_failure(0, 1, overlay, fk));
+  EXPECT_EQ(g.vertex_count(), 4u);  // 0 plus successors {2,3,4}
+  EXPECT_FALSE(g.contains(1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_TRUE(g.has_edge(0, 3));
+  EXPECT_TRUE(g.has_edge(0, 4));
+}
+
+TEST(Tracking, SubsequentFailureRemovesEdgeAndPrunes) {
+  const auto overlay = graph::make_complete(4);
+  TrackingDigraph g;
+  g.reset(0);
+  FakeKnowledge fk;
+  fk.fail(0, 1);
+  g.on_failure(0, 1, overlay, fk);  // adds 2, 3
+  fk.pairs.insert({0, 2});
+  g.on_failure(0, 2, overlay, fk);
+  EXPECT_FALSE(g.contains(2));  // unreachable after edge removal
+  EXPECT_TRUE(g.contains(3));
+  // Last detector: only the failed root remains -> fully pruned.
+  fk.pairs.insert({0, 3});
+  EXPECT_TRUE(g.on_failure(0, 3, overlay, fk));
+  EXPECT_TRUE(g.empty());
+}
+
+TEST(Tracking, ChainsThroughKnownFailedServers) {
+  // Ring overlay 0->1->2->3->0. Failure of 0 with detector... ring degree
+  // is 1: successor of 0 is 1. If 1 is already known failed, the expansion
+  // chains to 1's successor 2.
+  const auto overlay = graph::make_ring(4);
+  TrackingDigraph g;
+  g.reset(0);
+  FakeKnowledge fk;
+  fk.fail(1, 2);  // 1 already failed (detector 2 reported earlier)
+  fk.fail(0, 3);  // now 0's failure arrives, detected by non-successor 3
+  // 0 -> 1 added; 1 known failed -> chain would add 1 -> 2, but (1,2) ∈ F
+  // excludes it. That leaves V = {0, 1}, all failed -> fully pruned. Had
+  // 2 been (wrongly) added, the live vertex would keep the digraph alive.
+  EXPECT_TRUE(g.on_failure(0, 3, overlay, fk));
+  EXPECT_TRUE(g.empty());
+}
+
+TEST(Tracking, ChainAddsSuccessorsOfFailedServer) {
+  const auto overlay = graph::make_ring(4);
+  TrackingDigraph g;
+  g.reset(0);
+  FakeKnowledge fk;
+  fk.failed.insert(1);
+  fk.pairs.insert({1, 3});  // some unrelated pair; (1,2) unknown
+  fk.fail(0, 3);
+  g.on_failure(0, 3, overlay, fk);
+  EXPECT_TRUE(g.contains(1));
+  EXPECT_TRUE(g.contains(2));
+  EXPECT_TRUE(g.has_edge(1, 2));
+  // 2 is alive: the digraph is not pruned away.
+  EXPECT_FALSE(g.empty());
+}
+
+TEST(Tracking, AllFailedPrunesEverything) {
+  const auto overlay = graph::make_complete(3);
+  TrackingDigraph g;
+  g.reset(0);
+  FakeKnowledge fk;
+  fk.fail(0, 1);
+  fk.fail(1, 2);
+  fk.fail(2, 0);
+  // Every vertex the expansion can reach is failed.
+  EXPECT_TRUE(g.on_failure(0, 1, overlay, fk));
+  EXPECT_TRUE(g.empty());
+}
+
+TEST(Tracking, UntouchedWhenRootNotInvolved) {
+  const auto overlay = graph::make_complete(5);
+  TrackingDigraph g;
+  g.reset(0);
+  FakeKnowledge fk;
+  fk.fail(2, 3);
+  EXPECT_FALSE(g.on_failure(2, 3, overlay, fk));
+  EXPECT_EQ(g.vertex_count(), 1u);
+}
+
+TEST(Tracking, SentinelDetectorSkipsNothing) {
+  // A carried notification whose detector left the membership: expansion
+  // excludes nobody.
+  const auto overlay = graph::make_complete(4);
+  TrackingDigraph g;
+  g.reset(0);
+  FakeKnowledge fk;
+  fk.failed.insert(0);
+  g.on_failure(0, kInvalidNode, overlay, fk);
+  EXPECT_EQ(g.vertex_count(), 4u);
+  EXPECT_TRUE(g.contains(1));
+  EXPECT_TRUE(g.contains(2));
+  EXPECT_TRUE(g.contains(3));
+}
+
+TEST(Tracking, VerticesStaySorted) {
+  const auto overlay = graph::make_complete(6);
+  TrackingDigraph g;
+  g.reset(5);
+  FakeKnowledge fk;
+  fk.fail(5, 0);
+  g.on_failure(5, 0, overlay, fk);
+  const auto& v = g.vertices();
+  for (std::size_t i = 0; i + 1 < v.size(); ++i) {
+    EXPECT_LT(v[i], v[i + 1]);
+  }
+}
+
+}  // namespace
+}  // namespace allconcur::core

@@ -1,0 +1,76 @@
+#include "core/view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.hpp"
+
+namespace allconcur::core {
+namespace {
+
+GraphBuilder complete_builder() {
+  return [](std::size_t n) { return graph::make_complete(n); };
+}
+
+TEST(View, MembersSortedAndRanked) {
+  const View v({30, 10, 20}, complete_builder());
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.member(0), 10u);
+  EXPECT_EQ(v.member(2), 30u);
+  EXPECT_EQ(v.rank_of(20), 1u);
+  EXPECT_FALSE(v.rank_of(15).has_value());
+  EXPECT_TRUE(v.contains(30));
+  EXPECT_FALSE(v.contains(31));
+}
+
+TEST(View, SuccessorsInGlobalIds) {
+  const View v({5, 9, 12}, complete_builder());
+  const auto succ = v.successors_of(9);
+  EXPECT_EQ(succ, (std::vector<NodeId>{5, 12}));
+  const auto pred = v.predecessors_of(5);
+  EXPECT_EQ(pred, (std::vector<NodeId>{9, 12}));
+}
+
+TEST(View, NextRemovesAndAdds) {
+  const View v({1, 2, 3, 4}, complete_builder());
+  const View w = v.next({2}, {10}, complete_builder());
+  EXPECT_EQ(w.members(), (std::vector<NodeId>{1, 3, 4, 10}));
+  EXPECT_FALSE(w.contains(2));
+}
+
+TEST(View, NextIgnoresDuplicateAdd) {
+  const View v({1, 2}, complete_builder());
+  const View w = v.next({}, {2, 3}, complete_builder());
+  EXPECT_EQ(w.members(), (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST(View, DefaultBuilderMatchesPaperConfigs) {
+  const auto builder = make_default_graph_builder();
+  // Small memberships fall back to a complete digraph.
+  const View tiny({0, 1, 2}, builder);
+  EXPECT_EQ(tiny.overlay().degree(), 2u);
+  // n = 8 uses GS(8,3).
+  const View eight({0, 1, 2, 3, 4, 5, 6, 7}, builder);
+  EXPECT_EQ(eight.overlay().degree(), 3u);
+  EXPECT_TRUE(eight.overlay().is_regular());
+  // n = 16 uses GS(16,4).
+  std::vector<NodeId> sixteen(16);
+  for (NodeId i = 0; i < 16; ++i) sixteen[i] = i;
+  const View v16(sixteen, builder);
+  EXPECT_EQ(v16.overlay().degree(), 4u);
+}
+
+TEST(View, NonContiguousIdsWork) {
+  const auto builder = make_default_graph_builder();
+  const View v({100, 7, 55, 1000, 3, 12}, builder);
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_EQ(v.overlay().order(), 6u);
+  // Every successor list translates back to member ids.
+  for (NodeId m : v.members()) {
+    for (NodeId s : v.successors_of(m)) {
+      EXPECT_TRUE(v.contains(s));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace allconcur::core

@@ -1,0 +1,74 @@
+#include "graph/binomial_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/properties.hpp"
+
+namespace allconcur::graph {
+namespace {
+
+TEST(BinomialGraph, PaperExampleN12) {
+  // §4.2.3: n=12 has p_i± = {±1, ±2, ±4} (±8 ≡ ∓4), connectivity 6,
+  // diameter 2.
+  const Digraph g = make_binomial_graph(12);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.degree(), 6u);
+  EXPECT_EQ(binomial_graph_degree(12), 6u);
+  const auto d = diameter(g);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, 2u);
+  EXPECT_EQ(vertex_connectivity(g), 6u);
+}
+
+TEST(BinomialGraph, PaperExampleN9) {
+  // §2.3's example: 9 servers, offsets ±{1,2,4} -> 6-regular.
+  const Digraph g = make_binomial_graph(9);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.degree(), 6u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 8));  // 0 - 1 mod 9
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_TRUE(g.has_edge(0, 5));  // 0 - 4 mod 9
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(BinomialGraph, SymmetricEdges) {
+  const Digraph g = make_binomial_graph(20);
+  for (NodeId u = 0; u < g.order(); ++u) {
+    for (NodeId v : g.successors(u)) {
+      EXPECT_TRUE(g.has_edge(v, u)) << u << "->" << v;
+    }
+  }
+}
+
+TEST(BinomialGraph, DegreeGrowsLogarithmically) {
+  // Degree is 2*floor(log2 n) + O(1) — compare a few sizes.
+  EXPECT_EQ(binomial_graph_degree(16), 7u);  // ±{1,2,4,8}: 8 ≡ -8 dedupes
+  EXPECT_LE(binomial_graph_degree(64), 13u);
+  EXPECT_GE(binomial_graph_degree(64), 11u);
+  EXPECT_LE(binomial_graph_degree(1024), 21u);
+}
+
+TEST(BinomialGraph, DegreeHelperMatchesConstruction) {
+  for (std::size_t n : {5u, 9u, 12u, 17u, 33u, 100u}) {
+    EXPECT_EQ(make_binomial_graph(n).degree(), binomial_graph_degree(n))
+        << "n=" << n;
+  }
+}
+
+TEST(BinomialGraph, OptimallyConnectedSmall) {
+  for (std::size_t n : {9u, 12u, 16u}) {
+    const Digraph g = make_binomial_graph(n);
+    EXPECT_EQ(vertex_connectivity(g), g.degree()) << "n=" << n;
+  }
+}
+
+TEST(BinomialGraph, StronglyConnected) {
+  for (std::size_t n : {3u, 7u, 31u, 100u}) {
+    EXPECT_TRUE(is_strongly_connected(make_binomial_graph(n))) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace allconcur::graph

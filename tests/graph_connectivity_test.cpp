@@ -1,0 +1,101 @@
+#include "graph/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.hpp"
+#include "graph/properties.hpp"
+
+namespace allconcur::graph {
+namespace {
+
+TEST(Connectivity, CompleteGraph) {
+  EXPECT_EQ(vertex_connectivity(make_complete(5)), 4u);
+}
+
+TEST(Connectivity, DirectedRingIsOne) {
+  EXPECT_EQ(vertex_connectivity(make_ring(6)), 1u);
+}
+
+TEST(Connectivity, BidirectionalRingIsTwo) {
+  EXPECT_EQ(vertex_connectivity(make_bidirectional_ring(7)), 2u);
+}
+
+TEST(Connectivity, HypercubeEqualsDimension) {
+  EXPECT_EQ(vertex_connectivity(make_hypercube(8)), 3u);
+  EXPECT_EQ(vertex_connectivity(make_hypercube(16)), 4u);
+}
+
+TEST(Connectivity, DisconnectedIsZero) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  EXPECT_EQ(vertex_connectivity(g), 0u);
+}
+
+TEST(Connectivity, CutVertexDetected) {
+  // Two triangles sharing vertex 2: removing 2 disconnects.
+  Digraph g(5);
+  for (auto [u, v] : std::vector<std::pair<NodeId, NodeId>>{
+           {0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}}) {
+    g.add_edge(u, v);
+    g.add_edge(v, u);
+  }
+  EXPECT_EQ(vertex_connectivity(g), 1u);
+}
+
+TEST(Connectivity, LocalConnectivityWithDirectEdge) {
+  // Direct edge plus one indirect path: 2 internally disjoint paths.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(2, 1);
+  g.add_edge(0, 3);
+  g.add_edge(3, 1);
+  EXPECT_EQ(local_vertex_connectivity(g, 0, 1), 3u);
+}
+
+TEST(Connectivity, LocalConnectivityBottleneck) {
+  // All paths 0->3 run through vertex 1.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  EXPECT_EQ(local_vertex_connectivity(g, 0, 3), 1u);
+}
+
+TEST(Connectivity, LocalAsymmetry) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_EQ(local_vertex_connectivity(g, 0, 2), 1u);
+  EXPECT_EQ(local_vertex_connectivity(g, 2, 0), 0u);
+}
+
+TEST(Connectivity, OptimallyConnectedCheck) {
+  EXPECT_TRUE(is_optimally_connected(make_hypercube(8)));
+  // Two triangles sharing a hub: d(G)=4 but k(G)=1.
+  Digraph g(5);
+  for (auto [u, v] : std::vector<std::pair<NodeId, NodeId>>{
+           {0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 2}}) {
+    g.add_edge(u, v);
+    g.add_edge(v, u);
+  }
+  EXPECT_FALSE(is_optimally_connected(g));
+}
+
+TEST(Connectivity, MinDegreeUpperBoundRespected) {
+  // A graph where one low-degree vertex caps connectivity.
+  Digraph g = make_complete(5);
+  // Remove most edges around vertex 4 so its in/out degree is 1.
+  for (NodeId v : {0u, 1u, 2u}) {
+    g.remove_edge(4, v);
+    g.remove_edge(v, 4);
+  }
+  EXPECT_EQ(vertex_connectivity(g), 1u);
+}
+
+}  // namespace
+}  // namespace allconcur::graph

@@ -1,0 +1,90 @@
+#include "graph/debruijn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/properties.hpp"
+
+namespace allconcur::graph {
+namespace {
+
+TEST(GeneralizedDeBruijn, EdgeFormula) {
+  // GB(4,2): u -> (2u+a) mod 4.
+  const Multidigraph g = make_generalized_de_bruijn(4, 2);
+  EXPECT_EQ(g.edge_count(), 8u);
+  std::size_t found = 0;
+  for (const auto& e : g.edges()) {
+    if (e.tail == 1 && (e.head == 2 || e.head == 3)) ++found;
+  }
+  EXPECT_EQ(found, 2u);
+}
+
+TEST(GeneralizedDeBruijn, SelfLoopCountsWithinBounds) {
+  for (std::size_t m : {2u, 3u, 5u, 8u}) {
+    for (std::size_t d : {3u, 4u, 7u}) {
+      const Multidigraph g = make_generalized_de_bruijn(m, d);
+      for (NodeId v = 0; v < m; ++v) {
+        const std::size_t loops = g.self_loop_count(v);
+        EXPECT_GE(loops, d / m) << "m=" << m << " d=" << d << " v=" << v;
+        EXPECT_LE(loops, (d + m - 1) / m) << "m=" << m << " d=" << d;
+      }
+    }
+  }
+}
+
+TEST(DeBruijnStar, RegularAndLoopFree) {
+  for (std::size_t m : {2u, 3u, 4u, 5u, 9u, 13u}) {
+    for (std::size_t d : {3u, 4u, 5u, 8u, 11u}) {
+      const Multidigraph g = make_de_bruijn_star(m, d);
+      EXPECT_TRUE(g.is_regular(d)) << "m=" << m << " d=" << d;
+      for (NodeId v = 0; v < m; ++v) {
+        EXPECT_EQ(g.self_loop_count(v), 0u) << "m=" << m << " d=" << d;
+      }
+      EXPECT_EQ(g.edge_count(), m * d);
+    }
+  }
+}
+
+TEST(DeBruijnStar, SmallestCaseHasParallelEdges) {
+  // G*B(2,3) is the multigraph with three parallel edges each way.
+  const Multidigraph g = make_de_bruijn_star(2, 3);
+  std::size_t zero_to_one = 0, one_to_zero = 0;
+  for (const auto& e : g.edges()) {
+    zero_to_one += (e.tail == 0 && e.head == 1);
+    one_to_zero += (e.tail == 1 && e.head == 0);
+  }
+  EXPECT_EQ(zero_to_one, 3u);
+  EXPECT_EQ(one_to_zero, 3u);
+}
+
+TEST(LineDigraph, OfDirectedTriangleIsTriangle) {
+  Multidigraph tri(3);
+  tri.add_edge(0, 1);
+  tri.add_edge(1, 2);
+  tri.add_edge(2, 0);
+  const Digraph l = line_digraph(tri);
+  EXPECT_EQ(l.order(), 3u);
+  EXPECT_EQ(l.edge_count(), 3u);
+  EXPECT_TRUE(is_strongly_connected(l));
+}
+
+TEST(LineDigraph, DegreePreservedForRegularInput) {
+  const Multidigraph g = make_de_bruijn_star(4, 3);
+  const Digraph l = line_digraph(g);
+  EXPECT_EQ(l.order(), 12u);
+  EXPECT_TRUE(l.is_regular());
+  EXPECT_EQ(l.degree(), 3u);
+}
+
+TEST(LineDigraph, ParallelEdgesBecomeDistinctVertices) {
+  const Digraph l = line_digraph(make_de_bruijn_star(2, 3));
+  // K_{3,3} in both directions: 6 vertices, 3-regular, diameter 2.
+  EXPECT_EQ(l.order(), 6u);
+  EXPECT_TRUE(l.is_regular());
+  EXPECT_EQ(l.degree(), 3u);
+  const auto d = diameter(l);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, 2u);
+}
+
+}  // namespace
+}  // namespace allconcur::graph

@@ -1,0 +1,114 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace allconcur::graph {
+namespace {
+
+TEST(Digraph, AddAndQueryEdges) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  EXPECT_EQ(g.order(), 4u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.out_degree(0), 2u);
+  EXPECT_EQ(g.in_degree(2), 2u);
+}
+
+TEST(Digraph, SuccessorsAndPredecessorsSorted) {
+  Digraph g(5);
+  g.add_edge(0, 4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 3);
+  const auto& s = g.successors(0);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 1u);
+  EXPECT_EQ(s[1], 3u);
+  EXPECT_EQ(s[2], 4u);
+}
+
+TEST(Digraph, AddEdgeIfAbsent) {
+  Digraph g(3);
+  EXPECT_TRUE(g.add_edge_if_absent(0, 1));
+  EXPECT_FALSE(g.add_edge_if_absent(0, 1));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Digraph, RemoveEdge) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.remove_edge(0, 1);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.in_degree(1), 0u);
+}
+
+TEST(Digraph, Transpose) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const Digraph t = g.transpose();
+  EXPECT_TRUE(t.has_edge(1, 0));
+  EXPECT_TRUE(t.has_edge(2, 1));
+  EXPECT_FALSE(t.has_edge(0, 1));
+  EXPECT_EQ(t.edge_count(), 2u);
+}
+
+TEST(Digraph, WithoutRemovesVertexAndItsEdges) {
+  Digraph g = make_complete(4);
+  const Digraph h = g.without({2});
+  EXPECT_EQ(h.out_degree(2), 0u);
+  EXPECT_EQ(h.in_degree(2), 0u);
+  EXPECT_EQ(h.out_degree(0), 2u);
+  EXPECT_TRUE(h.has_edge(0, 1));
+  EXPECT_FALSE(h.has_edge(0, 2));
+}
+
+TEST(Digraph, CompleteGraphProperties) {
+  const Digraph g = make_complete(6);
+  EXPECT_EQ(g.edge_count(), 30u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.degree(), 5u);
+}
+
+TEST(Digraph, RingProperties) {
+  const Digraph g = make_ring(5);
+  EXPECT_EQ(g.edge_count(), 5u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.degree(), 1u);
+  EXPECT_TRUE(g.has_edge(4, 0));
+}
+
+TEST(Digraph, BidirectionalRing) {
+  const Digraph g = make_bidirectional_ring(6);
+  EXPECT_EQ(g.edge_count(), 12u);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.degree(), 2u);
+}
+
+TEST(Digraph, HypercubeProperties) {
+  const Digraph g = make_hypercube(8);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.degree(), 3u);
+  EXPECT_EQ(g.edge_count(), 24u);
+  EXPECT_TRUE(g.has_edge(0, 4));
+  EXPECT_TRUE(g.has_edge(4, 0));
+}
+
+TEST(Digraph, IrregularDetected) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_FALSE(g.is_regular());
+}
+
+TEST(Digraph, EqualityComparesStructure) {
+  EXPECT_EQ(make_ring(4), make_ring(4));
+  EXPECT_FALSE(make_ring(4) == make_complete(4));
+}
+
+}  // namespace
+}  // namespace allconcur::graph

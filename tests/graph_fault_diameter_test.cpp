@@ -1,0 +1,123 @@
+#include "graph/fault_diameter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/binomial_graph.hpp"
+#include "graph/digraph.hpp"
+#include "graph/gs_digraph.hpp"
+#include "graph/properties.hpp"
+
+namespace allconcur::graph {
+namespace {
+
+TEST(DisjointPaths, CompleteGraphShortPaths) {
+  const Digraph g = make_complete(5);
+  const auto dp = min_sum_disjoint_paths(g, 0, 1, 4);
+  ASSERT_TRUE(dp.has_value());
+  EXPECT_EQ(dp->paths.size(), 4u);
+  // One direct edge (length 1) plus three 2-hop paths.
+  EXPECT_EQ(dp->max_length, 2u);
+  EXPECT_NEAR(dp->avg_length, (1.0 + 2.0 + 2.0 + 2.0) / 4.0, 1e-9);
+}
+
+TEST(DisjointPaths, PathsAreVertexDisjoint) {
+  const Digraph g = make_binomial_graph(12);
+  const auto dp = min_sum_disjoint_paths(g, 0, 3, 6);
+  ASSERT_TRUE(dp.has_value());
+  std::set<NodeId> internal;
+  for (const auto& path : dp->paths) {
+    EXPECT_EQ(path.front(), 0u);
+    EXPECT_EQ(path.back(), 3u);
+    for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(internal.insert(path[i]).second)
+          << "vertex " << path[i] << " shared between paths";
+    }
+  }
+}
+
+TEST(DisjointPaths, PathsFollowEdges) {
+  const Digraph g = make_gs_digraph(16, 4);
+  const auto dp = min_sum_disjoint_paths(g, 2, 9, 4);
+  ASSERT_TRUE(dp.has_value());
+  for (const auto& path : dp->paths) {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+    }
+  }
+}
+
+TEST(DisjointPaths, NulloptWhenNotEnoughPaths) {
+  const Digraph g = make_ring(5);
+  EXPECT_FALSE(min_sum_disjoint_paths(g, 0, 2, 2).has_value());
+  EXPECT_TRUE(min_sum_disjoint_paths(g, 0, 2, 1).has_value());
+}
+
+TEST(DisjointPaths, PaperBinomialExample) {
+  // §4.2.3: binomial graph n=12; min-sum over the 6 disjoint 0->3 paths
+  // gives 3 <= δ_f <= 4 (one path, e.g. p0-p10-p6-p5-p3, has length 4).
+  const Digraph g = make_binomial_graph(12);
+  const auto dp = min_sum_disjoint_paths(g, 0, 3, 6);
+  ASSERT_TRUE(dp.has_value());
+  EXPECT_EQ(dp->max_length, 4u);
+  EXPECT_GE(dp->avg_length, 2.0);
+  EXPECT_LE(dp->avg_length, 4.0);
+}
+
+TEST(FaultDiameter, BoundDominatesExactSmall) {
+  const Digraph g = make_gs_digraph(8, 3);
+  const auto exact = fault_diameter_exact(g, 2);
+  const auto bound = fault_diameter_bound(g, 2);
+  ASSERT_TRUE(exact.has_value());
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_GE(*bound, *exact);
+  const auto diam = diameter(g);
+  ASSERT_TRUE(diam.has_value());
+  EXPECT_GE(*exact, *diam);
+}
+
+TEST(FaultDiameter, ExactZeroFaultsIsDiameter) {
+  const Digraph g = make_gs_digraph(11, 3);
+  const auto exact = fault_diameter_exact(g, 0);
+  const auto diam = diameter(g);
+  ASSERT_TRUE(exact.has_value() && diam.has_value());
+  EXPECT_EQ(*exact, *diam);
+}
+
+TEST(FaultDiameter, SampledIsLowerBoundOnExact) {
+  const Digraph g = make_binomial_graph(12);
+  Rng rng(17);
+  const auto exact = fault_diameter_exact(g, 3);
+  const auto sampled = fault_diameter_sampled(g, 3, 50, rng);
+  ASSERT_TRUE(exact.has_value() && sampled.has_value());
+  EXPECT_LE(*sampled, *exact);
+}
+
+TEST(FaultDiameter, SampledBoundMatchesFullBoundOnSmallGraph) {
+  const Digraph g = make_gs_digraph(16, 4);
+  Rng rng(23);
+  const auto full = fault_diameter_bound(g, 2);
+  const auto sampled = fault_diameter_bound_sampled(g, 2, 400, rng);
+  ASSERT_TRUE(full.has_value() && sampled.has_value());
+  EXPECT_LE(*sampled, *full);
+}
+
+TEST(FaultDiameter, DisconnectingRemovalYieldsNullopt) {
+  // Ring: removing any vertex breaks strong connectivity.
+  const Digraph g = make_ring(6);
+  EXPECT_FALSE(fault_diameter_exact(g, 1).has_value());
+}
+
+TEST(FaultDiameter, GsFaultDiameterStaysLow) {
+  // The paper reports low fault-diameter bounds for GS digraphs
+  // ("experimentally verified"); check ˆδ_f <= D + 2 for a mid-size case.
+  const Digraph g = make_gs_digraph(22, 4);
+  const auto diam = diameter(g);
+  const auto bound = fault_diameter_bound(g, 3);
+  ASSERT_TRUE(diam.has_value() && bound.has_value());
+  EXPECT_LE(*bound, *diam + 2);
+}
+
+}  // namespace
+}  // namespace allconcur::graph

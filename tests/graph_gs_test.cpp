@@ -1,0 +1,119 @@
+// Validates the GS(n,d) construction against the published Table 3: the
+// digraphs must be d-regular, strongly connected, optimally connected
+// (k = d) and have exactly the published diameters. This is the strongest
+// acceptance test we have for the construction.
+#include "graph/gs_digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/properties.hpp"
+#include "graph/reliability.hpp"
+
+namespace allconcur::graph {
+namespace {
+
+struct GsCase {
+  std::size_t n;
+  std::size_t d;
+  std::size_t expected_diameter;
+};
+
+class GsTable3Test : public ::testing::TestWithParam<GsCase> {};
+
+TEST_P(GsTable3Test, RegularAndConnectedWithPublishedDiameter) {
+  const auto [n, d, expected_d] = GetParam();
+  const Digraph g = make_gs_digraph(n, d);
+  EXPECT_EQ(g.order(), n);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.degree(), d);
+  EXPECT_TRUE(is_strongly_connected(g));
+  const auto diam = diameter(g);
+  ASSERT_TRUE(diam.has_value());
+  EXPECT_EQ(*diam, expected_d) << "GS(" << n << "," << d << ")";
+}
+
+// All Table 3 rows small enough to diameter-check quickly; the largest
+// rows are covered by gs_large tests below.
+INSTANTIATE_TEST_SUITE_P(
+    Table3, GsTable3Test,
+    ::testing::Values(GsCase{6, 3, 2}, GsCase{8, 3, 2}, GsCase{11, 3, 3},
+                      GsCase{16, 4, 2}, GsCase{22, 4, 3}, GsCase{32, 4, 3},
+                      GsCase{45, 4, 4}, GsCase{64, 5, 4}, GsCase{90, 5, 3},
+                      GsCase{128, 5, 4}, GsCase{256, 7, 4}),
+    [](const auto& info) {
+      return "GS_" + std::to_string(info.param.n) + "_" +
+             std::to_string(info.param.d);
+    });
+
+TEST(GsDigraph, LargeTable3RowsMatchPublishedDiameter) {
+  for (const auto& [n, d, expected] :
+       {GsCase{512, 8, 3}, GsCase{1024, 11, 4}}) {
+    const Digraph g = make_gs_digraph(n, d);
+    EXPECT_TRUE(g.is_regular());
+    EXPECT_EQ(g.degree(), d);
+    const auto diam = diameter(g);
+    ASSERT_TRUE(diam.has_value());
+    EXPECT_EQ(*diam, expected) << "GS(" << n << "," << d << ")";
+  }
+}
+
+TEST(GsDigraph, OptimallyConnectedSmallCases) {
+  for (const auto& [n, d] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {6, 3}, {8, 3}, {11, 3}, {16, 4}, {22, 4}, {32, 4}}) {
+    const Digraph g = make_gs_digraph(n, d);
+    EXPECT_EQ(vertex_connectivity(g), d) << "GS(" << n << "," << d << ")";
+  }
+}
+
+TEST(GsDigraph, OptimallyConnectedMediumCases) {
+  for (const auto& [n, d] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {45, 4}, {64, 5}, {90, 5}}) {
+    const Digraph g = make_gs_digraph(n, d);
+    EXPECT_EQ(vertex_connectivity(g), d) << "GS(" << n << "," << d << ")";
+  }
+}
+
+TEST(GsDigraph, DiameterIsQuasiminimal) {
+  // D(GS) <= D_L + 1 for n <= d^3 + d (§4.4).
+  for (const auto& row : paper_table3()) {
+    if (row.n > 256) continue;  // keep the test fast; large rows covered above
+    if (row.n > row.d * row.d * row.d + row.d) continue;
+    const Digraph g = make_gs_digraph(row.n, row.d);
+    const auto diam = diameter(g);
+    ASSERT_TRUE(diam.has_value());
+    EXPECT_LE(*diam, gs_moore_diameter_lower_bound(row.n, row.d) + 1)
+        << "GS(" << row.n << "," << row.d << ")";
+  }
+}
+
+TEST(GsDigraph, MooreBoundValues) {
+  // Lower bounds from Table 3.
+  EXPECT_EQ(gs_moore_diameter_lower_bound(6, 3), 2u);
+  EXPECT_EQ(gs_moore_diameter_lower_bound(11, 3), 2u);
+  EXPECT_EQ(gs_moore_diameter_lower_bound(22, 4), 3u);
+  EXPECT_EQ(gs_moore_diameter_lower_bound(64, 5), 3u);
+  EXPECT_EQ(gs_moore_diameter_lower_bound(256, 7), 3u);
+  EXPECT_EQ(gs_moore_diameter_lower_bound(512, 8), 3u);
+  EXPECT_EQ(gs_moore_diameter_lower_bound(1024, 11), 3u);
+}
+
+TEST(GsDigraph, NonTableSizesStillRegularAndConnected) {
+  // The construction must work for arbitrary n >= 2d, not just Table 3.
+  for (std::size_t n = 6; n <= 40; ++n) {
+    for (std::size_t d : {3u, 4u, 5u}) {
+      if (n < 2 * d) continue;
+      const Digraph g = make_gs_digraph(n, d);
+      EXPECT_TRUE(g.is_regular()) << "GS(" << n << "," << d << ")";
+      EXPECT_EQ(g.degree(), d) << "GS(" << n << "," << d << ")";
+      EXPECT_TRUE(is_strongly_connected(g)) << "GS(" << n << "," << d << ")";
+    }
+  }
+}
+
+TEST(GsDigraph, DeterministicConstruction) {
+  EXPECT_EQ(make_gs_digraph(22, 4), make_gs_digraph(22, 4));
+}
+
+}  // namespace
+}  // namespace allconcur::graph

@@ -1,0 +1,98 @@
+#include "graph/kautz.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/connectivity.hpp"
+#include "graph/properties.hpp"
+
+namespace allconcur::graph {
+namespace {
+
+TEST(Kautz, OrderFormula) {
+  EXPECT_EQ(kautz_order(2, 1), 3u);    // K_3 (complete digraph on 3)
+  EXPECT_EQ(kautz_order(2, 2), 6u);
+  EXPECT_EQ(kautz_order(2, 3), 12u);
+  EXPECT_EQ(kautz_order(3, 2), 12u);
+  EXPECT_EQ(kautz_order(3, 3), 36u);
+  EXPECT_EQ(kautz_order(4, 2), 20u);
+}
+
+struct KautzCase {
+  std::size_t d;
+  std::size_t diameter;
+};
+
+class KautzSweep : public ::testing::TestWithParam<KautzCase> {};
+
+TEST_P(KautzSweep, RegularDiameterAndConnectivity) {
+  const auto [d, D] = GetParam();
+  const Digraph g = make_kautz(d, D);
+  EXPECT_EQ(g.order(), kautz_order(d, D));
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.degree(), d);
+  const auto diam = diameter(g);
+  ASSERT_TRUE(diam.has_value());
+  EXPECT_EQ(*diam, D) << "K(" << d << "," << D << ")";
+  EXPECT_EQ(vertex_connectivity(g), d) << "K(" << d << "," << D << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, KautzSweep,
+    ::testing::Values(KautzCase{2, 1}, KautzCase{2, 2}, KautzCase{2, 3},
+                      KautzCase{2, 4}, KautzCase{3, 2}, KautzCase{3, 3},
+                      KautzCase{4, 2}, KautzCase{5, 2}),
+    [](const auto& info) {
+      return "K_" + std::to_string(info.param.d) + "_" +
+             std::to_string(info.param.diameter);
+    });
+
+TEST(Kautz, DensestKnownForDegreeAndDiameter) {
+  // Kautz K(d,D) beats the GS construction's quasi-Moore bound by being
+  // exactly at d^D + d^(D-1) > the Moore-bound-1 attainable sizes.
+  const Digraph k = make_kautz(3, 3);  // 36 vertices, d=3, D=3
+  const auto diam = diameter(k);
+  ASSERT_TRUE(diam.has_value());
+  EXPECT_EQ(*diam, 3u);
+  EXPECT_EQ(k.order(), 36u);
+}
+
+TEST(EdgeConnectivity, RingIsOne) {
+  EXPECT_EQ(edge_connectivity(make_ring(6)), 1u);
+}
+
+TEST(EdgeConnectivity, CompleteIsNMinusOne) {
+  EXPECT_EQ(edge_connectivity(make_complete(5)), 4u);
+}
+
+TEST(EdgeConnectivity, KautzMatchesDegree) {
+  EXPECT_EQ(edge_connectivity(make_kautz(3, 2)), 3u);
+}
+
+TEST(EdgeConnectivity, AtLeastVertexConnectivity) {
+  for (std::size_t d : {2u, 3u}) {
+    const Digraph g = make_kautz(d, 2);
+    EXPECT_GE(edge_connectivity(g), vertex_connectivity(g));
+  }
+}
+
+TEST(EdgeConnectivity, LocalDirectEdgeCounts) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(2, 1);
+  // Two edge-disjoint 0->1 paths: direct, and through 2.
+  EXPECT_EQ(local_edge_connectivity(g, 0, 1), 2u);
+  EXPECT_EQ(local_edge_connectivity(g, 1, 0), 0u);
+}
+
+TEST(EdgeConnectivity, DisconnectedIsZero) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  EXPECT_EQ(edge_connectivity(g), 0u);
+}
+
+}  // namespace
+}  // namespace allconcur::graph

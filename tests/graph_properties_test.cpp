@@ -1,0 +1,117 @@
+#include "graph/properties.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.hpp"
+
+namespace allconcur::graph {
+namespace {
+
+TEST(Properties, BfsDistancesOnRing) {
+  const Digraph g = make_ring(5);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[4], 4u);
+}
+
+TEST(Properties, BfsUnreachable) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], kUnreachable);
+}
+
+TEST(Properties, DiameterOfCompleteIsOne) {
+  const auto d = diameter(make_complete(7));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, 1u);
+}
+
+TEST(Properties, DiameterOfRing) {
+  const auto d = diameter(make_ring(6));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, 5u);
+}
+
+TEST(Properties, DiameterOfHypercube) {
+  const auto d = diameter(make_hypercube(16));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, 4u);
+}
+
+TEST(Properties, DiameterNulloptWhenDisconnected) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_FALSE(diameter(g).has_value());
+}
+
+TEST(Properties, DiameterAmongAliveSubset) {
+  // Removing vertex 2 from a 6-ring leaves 3->4->5->0->1 reachable only
+  // forward; the induced graph is a path, so no diameter.
+  const Digraph g = make_ring(6);
+  const Digraph h = g.without({2});
+  EXPECT_FALSE(diameter_among(h, {0, 1, 3, 4, 5}).has_value());
+}
+
+TEST(Properties, StrongConnectivity) {
+  EXPECT_TRUE(is_strongly_connected(make_ring(4)));
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  EXPECT_FALSE(is_strongly_connected(g));
+}
+
+TEST(Properties, ReachableFrom) {
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  const auto r = reachable_from(g, 0);
+  EXPECT_EQ(r, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(Properties, ShortestPathEndpoints) {
+  const Digraph g = make_ring(6);
+  const auto p = shortest_path(g, 1, 4);
+  ASSERT_EQ(p.size(), 4u);
+  EXPECT_EQ(p.front(), 1u);
+  EXPECT_EQ(p.back(), 4u);
+}
+
+TEST(Properties, ShortestPathUnreachableIsEmpty) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(shortest_path(g, 1, 0).empty());
+}
+
+TEST(Properties, SccSingleComponent) {
+  const auto scc = strongly_connected_components(make_ring(5));
+  EXPECT_EQ(scc.count, 1u);
+}
+
+TEST(Properties, SccSplitsOnDirectedCut) {
+  // Two 2-cycles joined by a one-way edge: two components.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  g.add_edge(1, 2);
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 2u);
+  EXPECT_EQ(scc.component[0], scc.component[1]);
+  EXPECT_EQ(scc.component[2], scc.component[3]);
+  EXPECT_NE(scc.component[0], scc.component[2]);
+}
+
+TEST(Properties, SccIsolatedVertices) {
+  Digraph g(3);
+  const auto scc = strongly_connected_components(g);
+  EXPECT_EQ(scc.count, 3u);
+}
+
+}  // namespace
+}  // namespace allconcur::graph

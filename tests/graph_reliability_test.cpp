@@ -1,0 +1,108 @@
+#include "graph/reliability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/gs_digraph.hpp"
+
+namespace allconcur::graph {
+namespace {
+
+TEST(Reliability, FailureProbabilityDefault) {
+  const FailureModel fm;
+  // Δ=24h, MTTF≈2y: p_f ≈ 1.37e-3.
+  EXPECT_NEAR(fm.p_f(), 1.368e-3, 1e-5);
+}
+
+TEST(Reliability, MonotonicInConnectivity) {
+  const FailureModel fm;
+  double prev = 0.0;
+  for (std::size_t k = 1; k <= 8; ++k) {
+    const double r = system_reliability(64, k, fm);
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(Reliability, DecreasesWithSystemSize) {
+  const FailureModel fm;
+  EXPECT_GT(system_reliability(16, 4, fm), system_reliability(256, 4, fm));
+}
+
+TEST(Reliability, PerfectWhenNoFailuresPossible) {
+  FailureModel fm;
+  fm.delta_hours = 0.0;
+  EXPECT_DOUBLE_EQ(system_reliability(100, 3, fm), 1.0);
+}
+
+TEST(Reliability, SixNinesDegreesMatchTable3Shape) {
+  // Independent recomputation of Table 3's minimal degrees. Two rows are
+  // borderline w.r.t. the paper's "MTTF ≈ 2 years" (see DESIGN.md): allow
+  // the computed d to differ from the published one by at most 1, and
+  // require exact match away from the boundary rows.
+  const FailureModel fm;
+  const std::vector<std::pair<std::size_t, std::size_t>> exact = {
+      {6, 3}, {8, 3}, {11, 3}, {16, 4}, {22, 4}, {32, 4},
+      {45, 4}, {64, 5}, {90, 5}, {256, 7}, {512, 8}};
+  for (const auto& [n, d_published] : exact) {
+    const auto d = min_gs_degree_for_target(n, 6.0, fm);
+    ASSERT_TRUE(d.has_value()) << "n=" << n;
+    EXPECT_EQ(*d, d_published) << "n=" << n;
+  }
+  for (std::size_t n : {128u, 1024u}) {
+    const auto d = min_gs_degree_for_target(n, 6.0, fm);
+    ASSERT_TRUE(d.has_value());
+    std::size_t published = 0;
+    for (const auto& row : paper_table3()) {
+      if (row.n == n) published = row.d;
+    }
+    EXPECT_LE(*d > published ? *d - published : published - *d, 1u)
+        << "n=" << n;
+  }
+}
+
+TEST(Reliability, PublishedDegreesMeetNearlySixNines) {
+  // Every published (n,d) must deliver at least ~6 nines under the paper's
+  // failure model (tolerance for the borderline rows).
+  const FailureModel fm;
+  for (const auto& row : paper_table3()) {
+    EXPECT_GE(system_reliability_nines(row.n, row.d, fm), 5.9)
+        << "GS(" << row.n << "," << row.d << ")";
+  }
+}
+
+TEST(Reliability, MinDegreeRespectsGsConstraint) {
+  // n < 2d means GS cannot be built: for n=6 the max degree is 3.
+  const FailureModel fm;
+  const auto d = min_gs_degree_for_target(6, 6.0, fm);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, 3u);
+}
+
+TEST(Reliability, UnreachableTargetIsNullopt) {
+  FailureModel fm;
+  fm.delta_hours = 24.0 * 365.25;  // a full year between repairs
+  fm.mttf_hours = 24.0 * 30.0;     // MTTF of a month
+  EXPECT_FALSE(min_gs_degree_for_target(8, 6.0, fm).has_value());
+}
+
+TEST(Reliability, PaperGsDegreeLookup) {
+  EXPECT_EQ(paper_gs_degree(6), 3u);
+  EXPECT_EQ(paper_gs_degree(8), 3u);
+  EXPECT_EQ(paper_gs_degree(32), 4u);
+  EXPECT_EQ(paper_gs_degree(64), 5u);
+  EXPECT_EQ(paper_gs_degree(512), 8u);
+  EXPECT_EQ(paper_gs_degree(1024), 11u);
+  // Interpolation picks the next-larger published row.
+  EXPECT_EQ(paper_gs_degree(100), 5u);
+  EXPECT_EQ(paper_gs_degree(7), 3u);
+}
+
+TEST(Reliability, NinesIncreaseWithDegreeForFig5Curve) {
+  // The Fig. 5 GS curve: at fixed n, more connectivity -> more nines.
+  const FailureModel fm;
+  EXPECT_LT(system_reliability_nines(1024, 5, fm),
+            system_reliability_nines(1024, 11, fm));
+}
+
+}  // namespace
+}  // namespace allconcur::graph

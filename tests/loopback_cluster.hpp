@@ -1,0 +1,144 @@
+// Test harness: n engines wired through an in-memory FIFO message queue
+// with no notion of time. Gives protocol tests exact control over message
+// interleaving, crashes (including mid-broadcast partial sends — the
+// scenario of §2.3) and failure-detector verdicts.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/engine.hpp"
+
+namespace allconcur::testing {
+
+using core::Engine;
+using core::EngineOptions;
+using core::GraphBuilder;
+using core::Message;
+using core::RoundResult;
+
+class LoopbackCluster {
+ public:
+  LoopbackCluster(std::size_t n, GraphBuilder builder,
+                  EngineOptions options = EngineOptions())
+      : builder_(std::move(builder)) {
+    std::vector<NodeId> members(n);
+    for (std::size_t i = 0; i < n; ++i) members[i] = static_cast<NodeId>(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      const NodeId id = static_cast<NodeId>(i);
+      Engine::Hooks hooks;
+      hooks.send = [this, id](NodeId dst, const Message& m) {
+        on_send(id, dst, m);
+      };
+      hooks.deliver = [this, id](const RoundResult& r) {
+        delivered_[id].push_back(r);
+      };
+      engines_.push_back(std::make_unique<Engine>(
+          id, core::View(members, builder_), builder_, hooks, options));
+    }
+  }
+
+  Engine& engine(NodeId id) { return *engines_[id]; }
+  std::size_t size() const { return engines_.size(); }
+
+  const std::vector<RoundResult>& delivered(NodeId id) const {
+    return delivered_.at(id);
+  }
+  bool has_delivered(NodeId id) const { return delivered_.count(id) > 0; }
+
+  /// Crashes a node: after `more_sends` further outgoing messages, all its
+  /// sends are dropped, and it stops receiving immediately after the
+  /// in-flight queue position (fail-stop).
+  void crash(NodeId id, std::size_t more_sends = 0) {
+    crashed_[id] = true;
+    sends_left_[id] = more_sends;
+  }
+  bool is_crashed(NodeId id) const {
+    const auto it = crashed_.find(id);
+    return it != crashed_.end() && it->second;
+  }
+
+  /// Makes all live successors of `id` (in `id`'s current view) suspect it.
+  void suspect_everywhere(NodeId id) {
+    for (const auto& e : engines_) {
+      if (is_crashed(e->self()) || e->self() == id) continue;
+      if (!e->view().contains(id)) continue;
+      for (NodeId pred : e->view().predecessors_of(e->self())) {
+        if (pred == id) {
+          e->on_suspect(id);
+          break;
+        }
+      }
+    }
+  }
+
+  /// Optional message filter: return true to drop (src, dst, msg).
+  std::function<bool(NodeId, NodeId, const Message&)> drop_filter;
+
+  /// Dispatches queued messages until quiescent. Returns messages moved.
+  std::size_t pump(std::size_t max_messages = 10'000'000) {
+    std::size_t moved = 0;
+    while (!queue_.empty() && moved < max_messages) {
+      auto [src, dst, msg] = queue_.front();
+      queue_.pop_front();
+      ++moved;
+      if (is_crashed(dst)) continue;
+      engines_[dst]->on_message(src, msg);
+    }
+    return moved;
+  }
+
+  /// Adversarial scheduler: dispatches messages in a random global order
+  /// while preserving per-link FIFO (the only ordering the algorithm may
+  /// assume). Used by the property suites to explore interleavings.
+  std::size_t pump_random(Rng& rng, std::size_t max_messages = 10'000'000) {
+    std::size_t moved = 0;
+    while (!queue_.empty() && moved < max_messages) {
+      // Pick a random queued message whose (src,dst) link has no earlier
+      // queued message: scan for the first occurrence per link.
+      const std::size_t pick = rng.next_below(queue_.size());
+      auto [src, dst, msg] = queue_[pick];
+      bool earliest = true;
+      for (std::size_t i = 0; i < pick; ++i) {
+        if (std::get<0>(queue_[i]) == src && std::get<1>(queue_[i]) == dst) {
+          earliest = false;
+          break;
+        }
+      }
+      if (!earliest) continue;  // try another pick
+      queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+      ++moved;
+      if (is_crashed(dst)) continue;
+      engines_[dst]->on_message(src, msg);
+    }
+    return moved;
+  }
+
+  std::size_t queued() const { return queue_.size(); }
+
+ private:
+  void on_send(NodeId src, NodeId dst, const Message& m) {
+    const auto it = crashed_.find(src);
+    if (it != crashed_.end() && it->second) {
+      auto& left = sends_left_[src];
+      if (left == 0) return;  // dropped: the server is gone
+      --left;
+    }
+    if (drop_filter && drop_filter(src, dst, m)) return;
+    queue_.emplace_back(src, dst, m);
+  }
+
+  GraphBuilder builder_;
+  std::vector<std::unique_ptr<Engine>> engines_;
+  std::map<NodeId, std::vector<RoundResult>> delivered_;
+  std::map<NodeId, bool> crashed_;
+  std::map<NodeId, std::size_t> sends_left_;
+  std::deque<std::tuple<NodeId, NodeId, Message>> queue_;
+};
+
+}  // namespace allconcur::testing

@@ -1,0 +1,211 @@
+// Property suite: the four atomic-broadcast properties (§2.1/§2.2) under
+// randomized crashes, partial dissemination, suspicion timing and
+// adversarial message interleavings, swept across seeds, sizes and
+// overlays.
+//
+//   Validity   — a non-faulty broadcaster delivers its own message.
+//   Agreement  — all non-faulty servers deliver the same message set.
+//   Integrity  — every message delivered at most once, only if broadcast.
+//   Total order— deliveries appear in the same order everywhere.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/binomial_graph.hpp"
+#include "graph/gs_digraph.hpp"
+#include "graph/reliability.hpp"
+#include "loopback_cluster.hpp"
+
+namespace allconcur::core {
+namespace {
+
+using testing::LoopbackCluster;
+
+struct PropertyCase {
+  std::uint64_t seed;
+  std::size_t n;
+  std::size_t crashes;  // < k(G)
+  bool binomial;        // else GS with the paper degree
+  bool dp_mode;
+};
+
+std::string case_name(const ::testing::TestParamInfo<PropertyCase>& info) {
+  const auto& p = info.param;
+  return "seed" + std::to_string(p.seed) + "_n" + std::to_string(p.n) +
+         "_f" + std::to_string(p.crashes) + (p.binomial ? "_binomial" : "_gs") +
+         (p.dp_mode ? "_dp" : "_p");
+}
+
+GraphBuilder overlay_for(const PropertyCase& p) {
+  if (p.binomial) {
+    return [](std::size_t n) {
+      return n < 3 ? graph::make_complete(n) : graph::make_binomial_graph(n);
+    };
+  }
+  return [](std::size_t n) {
+    if (n < 6) return graph::make_complete(n);
+    return graph::make_gs_digraph(n, std::min(graph::paper_gs_degree(n), n / 2));
+  };
+}
+
+class AgreementProperty : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(AgreementProperty, HoldsUnderRandomFailures) {
+  const PropertyCase& p = GetParam();
+  Rng rng(p.seed);
+  EngineOptions options;
+  options.fd_mode = p.dp_mode ? FdMode::kEventuallyPerfect : FdMode::kPerfect;
+  LoopbackCluster c(p.n, overlay_for(p), options);
+
+  // Pick distinct victims and how much of their final broadcast escapes.
+  std::set<NodeId> victims;
+  while (victims.size() < p.crashes) {
+    victims.insert(static_cast<NodeId>(rng.next_below(p.n)));
+  }
+  for (NodeId v : victims) {
+    c.crash(v, rng.next_below(6));  // 0..5 sends escape
+  }
+
+  // Everyone (including the doomed) tries to broadcast a payload.
+  for (NodeId i = 0; i < p.n; ++i) {
+    c.engine(i).submit(Request::of_data({static_cast<std::uint8_t>(i), 0x5a}));
+    c.engine(i).broadcast_now();
+  }
+
+  // Adversarial interleaving in phases, with suspicions injected at a
+  // random point between phases.
+  c.pump_random(rng, rng.next_below(200));
+  for (NodeId v : victims) c.suspect_everywhere(v);
+  c.pump_random(rng);
+
+  // --- collect ---
+  std::vector<NodeId> live;
+  for (NodeId i = 0; i < p.n; ++i) {
+    if (!c.is_crashed(i)) live.push_back(i);
+  }
+  ASSERT_FALSE(live.empty());
+
+  // Termination of every live server.
+  for (NodeId i : live) {
+    ASSERT_TRUE(c.has_delivered(i)) << "server " << i << " did not terminate";
+    ASSERT_EQ(c.delivered(i).size(), 1u);
+  }
+
+  const auto& reference = c.delivered(live[0])[0];
+  for (NodeId i : live) {
+    const auto& r = c.delivered(i)[0];
+
+    // Total order + agreement: identical delivery vector everywhere.
+    ASSERT_EQ(r.deliveries.size(), reference.deliveries.size())
+        << "server " << i;
+    for (std::size_t k = 0; k < r.deliveries.size(); ++k) {
+      EXPECT_EQ(r.deliveries[k].origin, reference.deliveries[k].origin)
+          << "server " << i << " slot " << k;
+    }
+    EXPECT_EQ(r.removed, reference.removed) << "server " << i;
+
+    // Integrity: no duplicate origins, origins were actual members.
+    std::set<NodeId> seen;
+    for (const auto& d : r.deliveries) {
+      EXPECT_TRUE(seen.insert(d.origin).second) << "duplicate " << d.origin;
+      EXPECT_LT(d.origin, p.n);
+    }
+
+    // Validity: every live server's own message is in the set.
+    for (NodeId j : live) {
+      EXPECT_TRUE(seen.count(j))
+          << "server " << i << " missed live server " << j << "'s message";
+    }
+
+    // In P mode no message may be dropped by the ⋄P safeguards.
+    EXPECT_EQ(c.engine(i).stats().dropped_lost, 0u);
+  }
+}
+
+std::vector<PropertyCase> make_cases() {
+  std::vector<PropertyCase> cases;
+  // GS overlays, P mode: the main sweep.
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    cases.push_back({seed, 8, seed % 3, /*binomial=*/false, /*dp=*/false});
+  }
+  for (std::uint64_t seed = 13; seed <= 20; ++seed) {
+    cases.push_back({seed, 16, seed % 4, false, false});
+  }
+  for (std::uint64_t seed = 21; seed <= 26; ++seed) {
+    cases.push_back({seed, 32, seed % 4, false, false});
+  }
+  // Binomial overlays (higher connectivity: more crashes tolerated).
+  for (std::uint64_t seed = 27; seed <= 32; ++seed) {
+    cases.push_back({seed, 9, seed % 5, true, false});
+  }
+  for (std::uint64_t seed = 33; seed <= 36; ++seed) {
+    cases.push_back({seed, 12, seed % 6, true, false});
+  }
+  // ⋄P mode (crash-free and light-crash: the gate must not break the
+  // properties when suspicions are accurate).
+  for (std::uint64_t seed = 37; seed <= 42; ++seed) {
+    cases.push_back({seed, 8, seed % 2, false, true});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AgreementProperty,
+                         ::testing::ValuesIn(make_cases()), case_name);
+
+// ---------------------------------------------------------------------
+// Multi-round property: agreement must hold round after round while
+// membership shrinks under randomized crashes.
+// ---------------------------------------------------------------------
+class MultiRoundProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultiRoundProperty, AgreementAcrossShrinkingViews) {
+  Rng rng(GetParam());
+  const std::size_t n = 11;
+  LoopbackCluster c(n, [](std::size_t m) {
+    return m < 6 ? graph::make_complete(m) : graph::make_gs_digraph(m, 3);
+  });
+
+  std::set<NodeId> crashed;
+  for (int round = 0; round < 5; ++round) {
+    // Maybe crash one more server (respecting f < k = 3 per round).
+    if (round > 0 && rng.next_below(2) == 0 && crashed.size() < 4) {
+      NodeId v;
+      do {
+        v = static_cast<NodeId>(rng.next_below(n));
+      } while (crashed.count(v));
+      crashed.insert(v);
+      c.crash(v, rng.next_below(4));
+    }
+    for (NodeId i = 0; i < n; ++i) {
+      if (!c.is_crashed(i)) c.engine(i).broadcast_now();
+    }
+    c.pump_random(rng, rng.next_below(500));
+    for (NodeId v : crashed) c.suspect_everywhere(v);
+    c.pump_random(rng);
+
+    // All live servers completed this round identically.
+    std::vector<NodeId> live;
+    for (NodeId i = 0; i < n; ++i) {
+      if (!c.is_crashed(i)) live.push_back(i);
+    }
+    const auto& ref_rounds = c.delivered(live[0]);
+    ASSERT_EQ(ref_rounds.size(), static_cast<std::size_t>(round + 1));
+    for (NodeId i : live) {
+      const auto& rounds = c.delivered(i);
+      ASSERT_EQ(rounds.size(), ref_rounds.size()) << "server " << i;
+      const auto& r = rounds.back();
+      ASSERT_EQ(r.deliveries.size(), ref_rounds.back().deliveries.size());
+      for (std::size_t k = 0; k < r.deliveries.size(); ++k) {
+        EXPECT_EQ(r.deliveries[k].origin,
+                  ref_rounds.back().deliveries[k].origin);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiRoundProperty,
+                         ::testing::Range<std::uint64_t>(100, 120));
+
+}  // namespace
+}  // namespace allconcur::core

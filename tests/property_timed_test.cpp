@@ -1,0 +1,101 @@
+// Timed property suite: full-stack runs (engines + fabric model + oracle
+// FD + membership) under randomized crash schedules, swept across seeds.
+// Checks per-round agreement, round monotonicity, and the absence of the
+// ⋄P-only drop paths in P mode.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "api/sim_cluster.hpp"
+#include "common/rng.hpp"
+
+namespace allconcur::api {
+namespace {
+
+using core::RoundResult;
+
+class TimedProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimedProperty, ContinuousRoundsUnderRandomCrashes) {
+  Rng rng(GetParam());
+  ClusterOptions opt;
+  opt.n = 16;  // GS(16,4): tolerates up to 3 concurrent failures
+  opt.detection_delay = us(200 + rng.next_below(800));
+  opt.fabric = rng.next_below(2) ? sim::FabricParams::tcp_ib()
+                                 : sim::FabricParams::infiniband();
+  SimCluster c(opt);
+
+  std::map<NodeId, std::vector<RoundResult>> results;
+  c.on_deliver = [&](NodeId who, const RoundResult& r, TimeNs) {
+    results[who].push_back(r);
+    c.submit_opaque(who, 64);
+    c.broadcast_now(who);
+  };
+
+  // Up to 3 crashes at random instants, some mid-broadcast.
+  const std::size_t crashes = rng.next_below(4);
+  std::set<NodeId> victims;
+  while (victims.size() < crashes) {
+    const NodeId v = static_cast<NodeId>(rng.next_below(opt.n));
+    if (victims.insert(v).second) {
+      // Drawn into locals first: argument evaluation order is unspecified
+      // and must not affect which schedule a seed denotes.
+      const TimeNs at = us(rng.next_below(3000));
+      const std::size_t escape = rng.next_below(4);
+      c.crash_after_sends(v, at, escape);
+    }
+  }
+
+  c.broadcast_all_now();
+  c.run_for(ms(50));
+
+  const auto live = c.live_nodes();
+  ASSERT_GE(live.size(), opt.n - crashes);
+
+  // Everyone alive made progress past the crash window.
+  for (NodeId id : live) {
+    ASSERT_GT(results[id].size(), 3u) << "node " << id << " stalled";
+  }
+
+  // Per-round agreement across all live nodes, for every round all of
+  // them completed.
+  std::size_t common = results[live[0]].size();
+  for (NodeId id : live) common = std::min(common, results[id].size());
+  for (std::size_t r = 0; r < common; ++r) {
+    const auto& ref = results[live[0]][r];
+    for (NodeId id : live) {
+      const auto& mine = results[id][r];
+      ASSERT_EQ(mine.round, ref.round) << "node " << id;
+      ASSERT_EQ(mine.deliveries.size(), ref.deliveries.size())
+          << "node " << id << " round " << r;
+      for (std::size_t k = 0; k < mine.deliveries.size(); ++k) {
+        EXPECT_EQ(mine.deliveries[k].origin, ref.deliveries[k].origin)
+            << "node " << id << " round " << r << " slot " << k;
+      }
+      EXPECT_EQ(mine.removed, ref.removed) << "node " << id << " round " << r;
+    }
+  }
+
+  // Rounds are monotone per node and the P-mode drop invariants hold.
+  for (NodeId id : live) {
+    for (std::size_t r = 1; r < results[id].size(); ++r) {
+      EXPECT_EQ(results[id][r].round, results[id][r - 1].round + 1);
+    }
+    EXPECT_EQ(c.engine(id).stats().dropped_lost, 0u) << "node " << id;
+  }
+
+  // Every crashed server eventually left the membership.
+  for (NodeId v : victims) {
+    for (NodeId id : live) {
+      EXPECT_FALSE(c.engine(id).view().contains(v))
+          << "node " << id << " still sees crashed " << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimedProperty,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace allconcur::api

@@ -1,0 +1,103 @@
+#include "sim/network_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace allconcur::sim {
+namespace {
+
+FabricParams simple_params() {
+  FabricParams p;
+  p.latency = us(10);
+  p.overhead = us(1);
+  p.stream_ns_per_byte = 1.0;
+  p.nic_ns_per_byte = 0.5;
+  p.congestion_threshold_bytes = 0;
+  return p;
+}
+
+TEST(NetworkModel, SingleMessageTiming) {
+  NetworkModel m(simple_params(), 4);
+  // 100 bytes at t=0: egress = o + 100*0.5 = 1.05us; stream adds 100*1 =
+  // 0.1us -> sender done at 1.15us; arrival += L.
+  const TimeNs done = m.sender_done(0, 1, 100, 0);
+  EXPECT_EQ(done, us(1) + ns(50) + ns(100));
+  EXPECT_EQ(m.arrival(done), done + us(10));
+  // Receiver: o + nic bytes.
+  const TimeNs handed = m.receiver_done(1, 100, m.arrival(done));
+  EXPECT_EQ(handed, m.arrival(done) + us(1) + ns(50));
+}
+
+TEST(NetworkModel, EgressSerializesAcrossConnections) {
+  NetworkModel m(simple_params(), 4);
+  const TimeNs d1 = m.sender_done(0, 1, 1000, 0);
+  const TimeNs d2 = m.sender_done(0, 2, 1000, 0);
+  // Second message waits for the NIC, not for the first stream.
+  EXPECT_GT(d2, d1);
+}
+
+TEST(NetworkModel, StreamPacingLimitsOneConnection) {
+  FabricParams p = simple_params();
+  p.nic_ns_per_byte = 0.0;  // NIC infinitely fast: stream is the limit
+  p.overhead = 0;
+  NetworkModel m(p, 2);
+  TimeNs last = 0;
+  for (int i = 0; i < 10; ++i) last = m.sender_done(0, 1, 1000, 0);
+  // 10 kB at 1 ns/B on one stream: at least 10 us of pacing.
+  EXPECT_GE(last, ns(10 * 1000));
+}
+
+TEST(NetworkModel, IngressSerializes) {
+  NetworkModel m(simple_params(), 4);
+  const TimeNs r1 = m.receiver_done(3, 100, us(100));
+  const TimeNs r2 = m.receiver_done(3, 100, us(100));
+  EXPECT_GT(r2, r1);
+  EXPECT_EQ(r2 - r1, us(1) + ns(50));
+}
+
+TEST(NetworkModel, CongestionPenaltyAboveThreshold) {
+  FabricParams p = simple_params();
+  p.congestion_threshold_bytes = 1000;
+  p.congestion_penalty = 2.0;
+  NetworkModel small_net(p, 2), big_net(p, 2);
+  const TimeNs small = small_net.sender_done(0, 1, 1000, 0);
+  const TimeNs big = big_net.sender_done(0, 1, 2000, 0);
+  // 2x bytes but with doubled stream time: more than 2x slower overall.
+  EXPECT_GT(big - 0, 2 * (small - 0));
+}
+
+TEST(NetworkModel, UncontendedTransitMatchesLogP) {
+  NetworkModel m(simple_params(), 2);
+  // 2o + L + bytes*(nic+stream).
+  EXPECT_EQ(m.uncontended_transit(100),
+            2 * us(1) + us(10) + ns(150));
+}
+
+TEST(NetworkModel, FabricProfilesMatchPaperParameters) {
+  const auto ib = FabricParams::infiniband();
+  EXPECT_EQ(ib.latency, ns(1250));
+  EXPECT_EQ(ib.overhead, ns(380));
+  const auto tcp = FabricParams::tcp_ib();
+  EXPECT_EQ(tcp.latency, us(12));
+  EXPECT_EQ(tcp.overhead, us(1.8));
+  // Both TCP profiles model the single-threaded event loop: rx and tx
+  // share one CPU; Verbs offloads and keeps them independent.
+  EXPECT_TRUE(tcp.shared_cpu);
+  EXPECT_TRUE(FabricParams::tcp_xc40().shared_cpu);
+  EXPECT_FALSE(ib.shared_cpu);
+  // A faster per-stream path on Aries than on IPoIB.
+  EXPECT_LT(FabricParams::tcp_xc40().stream_ns_per_byte,
+            tcp.stream_ns_per_byte);
+}
+
+TEST(NetworkModel, TimeNeverRegresses) {
+  NetworkModel m(simple_params(), 3);
+  TimeNs t = 0;
+  for (int i = 0; i < 100; ++i) {
+    const TimeNs done = m.sender_done(0, 1 + (i % 2), 64, t);
+    EXPECT_GE(done, t);
+    t = done;
+  }
+}
+
+}  // namespace
+}  // namespace allconcur::sim

@@ -1,0 +1,88 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace allconcur::sim {
+namespace {
+
+TEST(Simulator, EventsRunInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(ms(30), [&] { order.push_back(3); });
+  s.schedule(ms(10), [&] { order.push_back(1); });
+  s.schedule(ms(20), [&] { order.push_back(2); });
+  s.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), ms(30));
+}
+
+TEST(Simulator, TiesBreakInSchedulingOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule(ms(5), [&order, i] { order.push_back(i); });
+  }
+  s.run_to_completion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, HandlersCanScheduleMore) {
+  Simulator s;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 5) s.schedule(ms(1), chain);
+  };
+  s.schedule(ms(1), chain);
+  s.run_to_completion();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.now(), ms(5));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator s;
+  int ran = 0;
+  s.schedule(ms(10), [&] { ++ran; });
+  s.schedule(ms(20), [&] { ++ran; });
+  s.run_until(ms(15));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(s.now(), ms(15));
+  EXPECT_EQ(s.pending(), 1u);
+  s.run_until(ms(25));
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenIdle) {
+  Simulator s;
+  s.run_until(ms(100));
+  EXPECT_EQ(s.now(), ms(100));
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Simulator, ScheduleAtAbsoluteTime) {
+  Simulator s;
+  bool fired = false;
+  s.schedule_at(ms(42), [&] { fired = true; });
+  s.run_until(ms(41));
+  EXPECT_FALSE(fired);
+  s.run_until(ms(42));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, EventCountTracked) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule(i, [] {});
+  s.run_to_completion();
+  EXPECT_EQ(s.events_processed(), 7u);
+}
+
+TEST(SimulatorDeath, SchedulingInThePastAborts) {
+  Simulator s;
+  s.schedule(ms(5), [] {});
+  s.run_to_completion();
+  EXPECT_DEATH(s.schedule_at(ms(1), [] {}), "past");
+}
+
+}  // namespace
+}  // namespace allconcur::sim

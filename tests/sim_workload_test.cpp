@@ -1,0 +1,85 @@
+#include "sim/workload.hpp"
+
+#include <gtest/gtest.h>
+
+namespace allconcur::sim {
+namespace {
+
+TEST(FluidRate, AccumulatesWholeRequests) {
+  FluidRate w(1000.0, 64);  // 1k req/s of 64 B
+  // 10 ms -> 10 requests -> 640 bytes.
+  EXPECT_EQ(w.take(ms(10)), 640u);
+}
+
+TEST(FluidRate, CarriesFractions) {
+  FluidRate w(1000.0, 64);
+  // 1.5 ms -> 1.5 requests: one whole now, the half carried.
+  EXPECT_EQ(w.take(ms(1.5)), 64u);
+  EXPECT_EQ(w.take(ms(2.0)), 64u);  // +0.5 -> the carried half completes
+}
+
+TEST(FluidRate, ZeroBetweenArrivals) {
+  FluidRate w(10.0, 64);  // one request every 100 ms
+  EXPECT_EQ(w.take(ms(1)), 0u);
+  EXPECT_EQ(w.take(ms(50)), 0u);
+  EXPECT_EQ(w.take(ms(101)), 64u);
+}
+
+TEST(FluidRate, ConservesBytesLongRun) {
+  FluidRate w(12345.0, 40);
+  std::size_t total = 0;
+  for (int i = 1; i <= 1000; ++i) total += w.take(ms(i));
+  // 1 s at 12345 req/s of 40 B each, ±1 request of rounding.
+  EXPECT_NEAR(static_cast<double>(total), 12345.0 * 40.0, 40.0);
+}
+
+TEST(FluidRate, ZeroRateProducesNothing) {
+  FluidRate w(0.0, 64);
+  EXPECT_EQ(w.take(sec(10)), 0u);
+}
+
+TEST(PoissonArrivals, MeanRateConverges) {
+  PoissonArrivals w(1000.0, 8, Rng(42));
+  std::size_t count = 0;
+  for (int i = 1; i <= 2000; ++i) count += w.count_in(ms(static_cast<double>(i)));
+  // 2 s at 1000/s: expect ~2000 ± 5 sigma (~224).
+  EXPECT_NEAR(static_cast<double>(count), 2000.0, 250.0);
+}
+
+TEST(PoissonArrivals, BytesAreCountTimesSize) {
+  PoissonArrivals a(5000.0, 40, Rng(7));
+  PoissonArrivals b(5000.0, 40, Rng(7));  // identical stream
+  const std::size_t bytes = a.take(ms(100));
+  const std::size_t count = b.count_in(ms(100));
+  EXPECT_EQ(bytes, count * 40);
+}
+
+TEST(PoissonArrivals, DeterministicPerSeed) {
+  PoissonArrivals a(200.0, 40, Rng(9));
+  PoissonArrivals b(200.0, 40, Rng(9));
+  for (int i = 1; i <= 20; ++i) {
+    EXPECT_EQ(a.take(ms(i * 37.0)), b.take(ms(i * 37.0)));
+  }
+}
+
+TEST(ApmPlayer, TwoHundredApmIsSparsePerFrame) {
+  // 200 APM = 3.33 actions/s = 1/6 action per 50 ms frame: most frames
+  // must be empty.
+  auto player = make_apm_player(200.0, 40, Rng(3));
+  int empty = 0, total = 0;
+  for (int frame = 1; frame <= 600; ++frame) {
+    ++total;
+    if (player.take(static_cast<TimeNs>(frame) * ms(50)) == 0) ++empty;
+  }
+  EXPECT_GT(empty, total / 2);
+  EXPECT_LT(empty, total);  // but not all empty
+}
+
+TEST(GlobalRateShare, SplitsEvenly) {
+  auto share = make_global_rate_share(1e6, 8, 40);
+  EXPECT_DOUBLE_EQ(share.offered_rate(), 125000.0);
+  EXPECT_EQ(share.take(ms(1)), 125u * 40u);
+}
+
+}  // namespace
+}  // namespace allconcur::sim

@@ -1,0 +1,102 @@
+// allconcur_run — run a simulated AllConcur deployment from the command
+// line and report agreement statistics.
+//
+//   $ allconcur_run --n=16 --fabric=tcp --seconds=2 --rate=10000
+//   $ allconcur_run --n=32 --crashes=2 --joins=2 --heartbeat-fd --dp
+//   $ allconcur_run --n=8 --fabric=ibv --rate=1000000 --req-bytes=64
+#include <cstdio>
+#include <string>
+
+#include "api/allconcur.hpp"
+#include "common/flags.hpp"
+#include "common/stats.hpp"
+#include "sim/workload.hpp"
+
+using namespace allconcur;
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 16));
+  const std::string fabric_name = flags.get("fabric", "tcp");
+  const double seconds = flags.get_double("seconds", 1.0);
+  const double rate = flags.get_double("rate", 10000.0);
+  const std::size_t req_bytes =
+      static_cast<std::size_t>(flags.get_int("req-bytes", 64));
+  const std::size_t crashes =
+      static_cast<std::size_t>(flags.get_int("crashes", 0));
+  const std::size_t joins = static_cast<std::size_t>(flags.get_int("joins", 0));
+
+  api::ClusterOptions opt;
+  opt.n = n;
+  if (fabric_name == "ibv") {
+    opt.fabric = sim::FabricParams::infiniband();
+  } else if (fabric_name == "xc40") {
+    opt.fabric = sim::FabricParams::tcp_xc40();
+  } else {
+    opt.fabric = sim::FabricParams::tcp_ib();
+  }
+  opt.heartbeat_fd = flags.get_bool("heartbeat-fd", false);
+  opt.auto_heal = flags.get_bool("auto-heal", false);
+  if (flags.get_bool("dp", false)) {
+    opt.fd_mode = core::FdMode::kEventuallyPerfect;
+  }
+  api::SimCluster cluster(opt);
+
+  std::vector<sim::FluidRate> sources;
+  sources.reserve(n + opt.max_joins);
+  for (std::size_t i = 0; i < n + opt.max_joins; ++i) {
+    sources.emplace_back(rate, req_bytes);
+  }
+
+  Summary latency_us;
+  std::uint64_t requests_agreed = 0;
+  std::uint64_t rounds = 0;
+  cluster.on_deliver = [&](NodeId who, const core::RoundResult& r, TimeNs t) {
+    if (who == 0 || !cluster.exists(0) || !cluster.alive(0)) {
+      if (who == cluster.live_nodes().front()) {
+        ++rounds;
+        for (const auto& d : r.deliveries) {
+          requests_agreed += d.bytes / req_bytes;
+        }
+        const auto started = cluster.broadcast_time(who, r.round);
+        if (started) latency_us.add(to_us(t - *started));
+      }
+    }
+    const std::size_t bytes = sources[who].take(t);
+    if (bytes > 0) cluster.submit_opaque(who, bytes);
+    cluster.broadcast_now(who);
+  };
+
+  // Failure/join schedule spread over the first half of the run.
+  for (std::size_t i = 0; i < crashes && i + 1 < n; ++i) {
+    cluster.crash_at(static_cast<NodeId>(n - 1 - i),
+                     sec(seconds * 0.1 * static_cast<double>(i + 1)));
+  }
+  for (std::size_t i = 0; i < joins; ++i) {
+    cluster.schedule_join(sec(seconds * 0.3 + 0.05 * static_cast<double>(i)),
+                          /*sponsor=*/0);
+  }
+
+  cluster.broadcast_all_now();
+  cluster.run_for(sec(seconds));
+
+  std::printf("allconcur_run: n=%zu fabric=%s %.1fs simulated\n", n,
+              fabric_name.c_str(), seconds);
+  std::printf("  rounds completed      : %llu\n",
+              static_cast<unsigned long long>(rounds));
+  std::printf("  requests agreed       : %llu (%.0f req/s)\n",
+              static_cast<unsigned long long>(requests_agreed),
+              static_cast<double>(requests_agreed) / seconds);
+  if (!latency_us.empty()) {
+    const auto ci = latency_us.median_ci95();
+    std::printf("  agreement latency     : median %.1f us  [%.1f, %.1f] 95%% CI\n",
+                ci.median, ci.lo, ci.hi);
+    std::printf("  latency p99           : %.1f us\n", latency_us.quantile(0.99));
+  }
+  const auto stats = cluster.aggregate_stats();
+  std::printf("  messages (bcast/fail) : %llu / %llu\n",
+              static_cast<unsigned long long>(stats.bcast_received),
+              static_cast<unsigned long long>(stats.fail_received));
+  std::printf("  final live nodes      : %zu\n", cluster.live_nodes().size());
+  return 0;
+}
