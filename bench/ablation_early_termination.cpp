@@ -71,7 +71,10 @@ int main(int argc, char** argv) {
   print_title("Ablation: early termination vs f + D_f worst-case waiting");
   row("%6s %4s %4s %6s %12s %14s %12s %16s %9s", "n", "d", "D", "δ̂_f",
       "no-fail[us]", "1 crash[us]", "hops[us]", "conserv.[us]", "saving");
-  for (const auto n : flags.get_int_list("sizes", {8, 16, 32, 64})) {
+  const std::vector<std::int64_t> default_sizes =
+      smoke_mode(flags) ? std::vector<std::int64_t>{8, 16}
+                        : std::vector<std::int64_t>{8, 16, 32, 64};
+  for (const auto n : flags.get_int_list("sizes", default_sizes)) {
     const std::size_t d = graph::paper_gs_degree(static_cast<std::size_t>(n));
     const auto g = graph::make_gs_digraph(static_cast<std::size_t>(n), d);
     const auto diam = graph::diameter(g).value_or(0);

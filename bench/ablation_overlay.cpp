@@ -58,8 +58,8 @@ OverlayResult run_overlay(const std::string&, core::GraphBuilder builder,
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const std::size_t n =
-      static_cast<std::size_t>(flags.get_int("n", 64));
+  const std::size_t n = static_cast<std::size_t>(
+      flags.get_int("n", smoke_mode(flags) ? 16 : 64));
 
   print_title("Ablation: overlay digraph choice at n = " + std::to_string(n));
   row("%12s %4s %4s %14s %16s %8s", "overlay", "d", "D", "latency[us]",

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "api/sim_cluster.hpp"
+#include "common/flags.hpp"
 #include "common/stats.hpp"
 
 namespace allconcur::bench {
@@ -24,6 +25,16 @@ inline void print_title(const std::string& title) {
 
 inline void print_note(const std::string& note) {
   std::printf("  # %s\n", note.c_str());
+}
+
+/// Smoke mode (--smoke): shrink the experiment so the binary exercises its
+/// full code path in about a second. The build registers every bench with
+/// ctest under the `smoke` label this way, so the harnesses are verified
+/// runnable — not merely compilable — on every run.
+inline bool smoke_mode(const Flags& flags) {
+  const bool on = flags.get_bool("smoke", false);
+  if (on) print_note("smoke mode: reduced sizes/horizons, shapes only");
+  return on;
 }
 
 inline void row(const char* fmt, ...) {

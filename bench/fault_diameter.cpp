@@ -41,8 +41,10 @@ int main(int argc, char** argv) {
   print_title("GS(n,d) fault-diameter bounds (f = d-1, min-sum heuristic)");
   row("%6s %4s %4s %10s %14s", "n", "d", "D", "δ̂_{d-1}", "pairs checked");
   Rng rng(static_cast<std::uint64_t>(flags.get_int("seed", 42)));
+  const std::size_t max_n = static_cast<std::size_t>(
+      flags.get_int("max-n", smoke_mode(flags) ? 16 : 128));
   for (const auto& rowspec : graph::paper_table3()) {
-    if (rowspec.n > static_cast<std::size_t>(flags.get_int("max-n", 128))) {
+    if (rowspec.n > max_n) {
       continue;
     }
     const auto g = graph::make_gs_digraph(rowspec.n, rowspec.d);

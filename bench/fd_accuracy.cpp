@@ -22,7 +22,9 @@ int main(int argc, char** argv) {
               std::to_string(delay_mean_us) + " us)");
   row("%8s %8s %12s %16s %16s", "Δhb[ms]", "Δto[ms]", "beats",
       "P(n=32,d=4)", "P(n=512,d=8)");
+  const bool smoke = smoke_mode(flags);
   for (const double hb_ms : {1.0, 2.0, 5.0}) {
+    if (smoke && hb_ms > 1.0) continue;
     for (const double to_ms : {5.0, 10.0, 20.0, 50.0}) {
       if (to_ms < hb_ms) continue;
       const double hb = hb_ms * 1e3, to = to_ms * 1e3;  // us

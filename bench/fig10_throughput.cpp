@@ -20,15 +20,20 @@ using namespace allconcur::bench;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  std::vector<std::int64_t> sizes = flags.get_int_list("sizes", {8, 32, 128});
+  const bool smoke = smoke_mode(flags);
+  std::vector<std::int64_t> sizes = flags.get_int_list(
+      "sizes", smoke ? std::vector<std::int64_t>{8, 32}
+                     : std::vector<std::int64_t>{8, 32, 128});
   if (flags.get_bool("full", false)) {
     sizes.push_back(512);
     sizes.push_back(1024);
   }
   const auto batches = flags.get_int_list(
-      "batches", {128, 512, 2048, 8192, 32768});  // 2^7 .. 2^15 requests
+      "batches", smoke ? std::vector<std::int64_t>{128, 2048}
+                       : std::vector<std::int64_t>{128, 512, 2048, 8192,
+                                                   32768});  // 2^7..2^15 reqs
   const std::size_t rounds =
-      static_cast<std::size_t>(flags.get_int("rounds", 4));
+      static_cast<std::size_t>(flags.get_int("rounds", smoke ? 2 : 4));
   const std::string series = flags.get("series", "all");
   const auto fabric = sim::FabricParams::tcp_xc40();
   const DurationNs decree_fixed = us(flags.get_double("decree-cpu-us", 150.0));

@@ -25,7 +25,8 @@ int main(int argc, char** argv) {
   print_title("Fig. 5: reliability vs system size (24h, MTTF ~ 2y)");
   row("%8s %14s %16s %10s %14s", "n", "binomial d=k", "binomial nines",
       "GS d", "GS nines");
-  for (std::size_t e = 3; e <= 15; ++e) {
+  const std::size_t max_exp = smoke_mode(flags) ? 10 : 15;
+  for (std::size_t e = 3; e <= max_exp; ++e) {
     const std::size_t n = std::size_t{1} << e;
     const std::size_t k_binomial = graph::binomial_graph_degree(n);
     const double nines_binomial = graph::system_reliability_nines(

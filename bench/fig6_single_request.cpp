@@ -57,8 +57,11 @@ void run_series(const char* name, const sim::FabricParams& fabric,
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const auto sizes =
-      flags.get_int_list("sizes", {6, 8, 11, 16, 22, 32, 45, 64, 90});
+  const std::vector<std::int64_t> default_sizes =
+      smoke_mode(flags) ? std::vector<std::int64_t>{6, 8, 11, 16}
+                        : std::vector<std::int64_t>{6, 8, 11, 16, 22,
+                                                    32, 45, 64, 90};
+  const auto sizes = flags.get_int_list("sizes", default_sizes);
   run_series("IBV, IB-hsw", sim::FabricParams::infiniband(), sizes);
   run_series("TCP, IB-hsw", sim::FabricParams::tcp_ib(), sizes);
   print_note("paper shape: latency tracks the depth model at small n and "

@@ -46,9 +46,14 @@ void run_series(const char* name, const sim::FabricParams& fabric,
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  const auto sizes = flags.get_int_list("sizes", {8, 16, 32, 64});
+  const bool smoke = smoke_mode(flags);
+  const auto sizes = flags.get_int_list(
+      "sizes", smoke ? std::vector<std::int64_t>{8, 16}
+                     : std::vector<std::int64_t>{8, 16, 32, 64});
   const auto rates = flags.get_int_list(
-      "rates", {10, 100, 1000, 10000, 100000, 1000000, 10000000, 100000000});
+      "rates", smoke ? std::vector<std::int64_t>{10, 10000, 10000000}
+                     : std::vector<std::int64_t>{10, 100, 1000, 10000, 100000,
+                                                 1000000, 10000000, 100000000});
   run_series("IBV, IB-hsw", sim::FabricParams::infiniband(), sizes, rates);
   run_series("TCP, IB-hsw", sim::FabricParams::tcp_ib(), sizes, rates);
   print_note("paper anchors: IBV n=8 @ 100M req/s/server agrees in ~35us; "

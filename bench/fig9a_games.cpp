@@ -56,14 +56,16 @@ Summary run_frames(std::size_t n, double apm, std::size_t frames,
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  std::vector<std::int64_t> sizes =
-      flags.get_int_list("sizes", {8, 16, 32, 64, 128, 256});
+  const bool smoke = smoke_mode(flags);
+  std::vector<std::int64_t> sizes = flags.get_int_list(
+      "sizes", smoke ? std::vector<std::int64_t>{8, 16, 32}
+                     : std::vector<std::int64_t>{8, 16, 32, 64, 128, 256});
   if (flags.get_bool("full", false)) {
     sizes.push_back(512);   // the paper's "epic battles" anchor (~40s here)
     sizes.push_back(1024);
   }
   const std::size_t frames =
-      static_cast<std::size_t>(flags.get_int("frames", 6));
+      static_cast<std::size_t>(flags.get_int("frames", smoke ? 2 : 6));
 
   print_title("Fig. 9a: multiplayer games — latency vs players (XC40 TCP)");
   row("%8s %16s %16s %12s", "players", "200 APM [ms]", "400 APM [ms]",

@@ -15,13 +15,18 @@ using namespace allconcur::bench;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
-  std::vector<std::int64_t> sizes = flags.get_int_list("sizes", {8, 32, 128});
+  const bool smoke = smoke_mode(flags);
+  std::vector<std::int64_t> sizes = flags.get_int_list(
+      "sizes", smoke ? std::vector<std::int64_t>{8, 32}
+                     : std::vector<std::int64_t>{8, 32, 128});
   if (flags.get_bool("full", false)) {
     sizes.push_back(512);
     sizes.push_back(1024);
   }
   const auto rates = flags.get_int_list(
-      "rates", {10000, 100000, 1000000, 10000000, 100000000});
+      "rates", smoke ? std::vector<std::int64_t>{10000, 1000000}
+                     : std::vector<std::int64_t>{10000, 100000, 1000000,
+                                                 10000000, 100000000});
 
   print_title("Fig. 9b: latency vs system-wide request rate (40B, XC40 TCP)");
   std::printf("%14s", "rate[/s]");

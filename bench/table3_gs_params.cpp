@@ -29,7 +29,9 @@ int main(int argc, char** argv) {
   row("%6s %10s %10s %8s %8s %6s %12s", "n", "d(paper)", "d(comp)", "D(GS)",
       "D(paper)", "D_L", "nines@paper");
 
+  const bool smoke = smoke_mode(flags);
   for (const auto& published : graph::paper_table3()) {
+    if (smoke && published.n > 128) continue;
     const auto computed = graph::min_gs_degree_for_target(published.n, target, fm);
     const graph::Digraph g = graph::make_gs_digraph(published.n, published.d);
     const auto diam = graph::diameter(g);

@@ -17,6 +17,8 @@ using namespace allconcur::bench;
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
+  const std::size_t max_n = static_cast<std::size_t>(
+      flags.get_int("max-n", smoke_mode(flags) ? 128 : 1024));
   const core::LogP ibv{1250.0, 380.0};
   const core::LogP tcp{12000.0, 1800.0};
 
@@ -33,7 +35,7 @@ int main(int argc, char** argv) {
   row("%6s %4s %4s %12s %12s %12s %12s", "n", "d", "D", "work(IBV)",
       "depth(IBV)", "work(TCP)", "depth(TCP)");
   for (const auto& spec : graph::paper_table3()) {
-    if (spec.n > static_cast<std::size_t>(flags.get_int("max-n", 1024))) break;
+    if (spec.n > max_n) break;
     row("%6zu %4zu %4zu %12.1f %12.1f %12.1f %12.1f", spec.n, spec.d,
         spec.diameter, core::logp_work_bound_ns(spec.n, spec.d, ibv) / 1e3,
         core::logp_depth_ns(spec.d, spec.diameter, ibv) / 1e3,

@@ -68,15 +68,26 @@ int main(int argc, char** argv) {
                                                             : uint8_t{0}}));
       node->broadcast_now();
     }
-    // Wait for node 0 to finish the round.
+    // Wait for node 0 to finish the round (bounded so a protocol stall
+    // fails the smoke test instead of hanging it).
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
     while (nodes[0]->rounds_completed() <= r) {
+      if (std::chrono::steady_clock::now() > deadline) {
+        std::fprintf(stderr, "stalled waiting for round %llu\n",
+                     static_cast<unsigned long long>(r));
+        for (auto& node : nodes) node->stop();
+        for (auto& t : threads) t.join();
+        return 1;
+      }
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
     }
   }
 
+  const bool completed = nodes[0]->rounds_completed() >= rounds;
   for (auto& node : nodes) node->stop();
   for (auto& t : threads) t.join();
   std::printf("done: %llu total deliveries across %zu nodes\n",
               static_cast<unsigned long long>(deliveries.load()), n);
-  return 0;
+  return completed && deliveries.load() > 0 ? 0 : 1;
 }

@@ -1,8 +1,9 @@
 // Minimal command-line flag parsing for the benchmark/example executables.
 //
 // Syntax: --name=value or --name value; bare --name sets a bool flag.
-// Unknown flags abort with a usage message so typos never silently run the
-// default experiment.
+// Malformed arguments (not starting with --) abort with a usage message.
+// Unknown flag *names* are collected but otherwise ignored — callers that
+// want typo protection can validate against all().
 #pragma once
 
 #include <cstdint>

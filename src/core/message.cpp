@@ -82,6 +82,8 @@ T get(std::span<const std::uint8_t> in, std::size_t offset) {
 }  // namespace
 
 std::vector<std::uint8_t> encode(const Message& m) {
+  ALLCONCUR_ASSERT(m.payload_bytes <= Message::kMaxPayloadBytes,
+                   "payload exceeds the 32-bit wire length field");
   std::vector<std::uint8_t> out(Message::kHeaderBytes + m.payload_bytes, 0);
   put<std::uint8_t>(out, 0, static_cast<std::uint8_t>(m.type));
   put<std::uint32_t>(out, 4, m.origin);

@@ -38,6 +38,9 @@ struct Message {
 
   /// Serialized header size (see message.cpp for the layout).
   static constexpr std::size_t kHeaderBytes = 24;
+  /// Wire limit: the payload length field is 32 bits. encode() asserts
+  /// this rather than silently truncating the frame length.
+  static constexpr std::uint64_t kMaxPayloadBytes = 0xffffffffull;
   std::size_t wire_size() const { return kHeaderBytes + payload_bytes; }
 
   static Message bcast(Round r, NodeId origin, Payload p);

@@ -10,10 +10,9 @@ namespace allconcur::core {
 
 GraphBuilder make_default_graph_builder() {
   return [](std::size_t n) -> graph::Digraph {
-    if (n <= 1) return graph::Digraph(n);
-    if (n < 6) return graph::make_complete(n);
-    const std::size_t d = graph::paper_gs_degree(n);
-    return graph::make_gs_digraph(n, d);
+    // make_gs_digraph handles every degenerate size itself: n <= 1 yields
+    // the edgeless digraph and n < max(6, 2d) the complete digraph.
+    return graph::make_gs_digraph(n, graph::paper_gs_degree(n));
   };
 }
 

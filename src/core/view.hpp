@@ -18,7 +18,8 @@ namespace allconcur::core {
 
 /// Builds the overlay for a given membership size. The default builder
 /// (see make_default_graph_builder) uses GS(n, d) with the paper's Table 3
-/// degrees, falling back to a complete digraph for n < 6.
+/// degrees; degenerate sizes take make_gs_digraph's documented
+/// complete-graph fallback (n < max(6, 2d)).
 using GraphBuilder = std::function<graph::Digraph(std::size_t n)>;
 
 GraphBuilder make_default_graph_builder();

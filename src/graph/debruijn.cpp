@@ -7,8 +7,9 @@
 namespace allconcur::graph {
 
 Multidigraph make_generalized_de_bruijn(std::size_t m, std::size_t d) {
-  ALLCONCUR_ASSERT(m >= 2, "GB(m,d) requires m >= 2");
-  ALLCONCUR_ASSERT(d >= 1, "GB(m,d) requires d >= 1");
+  // Documented fallback: below m = 2 (or with no edges requested) the
+  // arithmetic degenerates to self-loops only; return the edgeless graph.
+  if (m < 2 || d < 1) return Multidigraph(m);
   Multidigraph g(m);
   for (NodeId u = 0; u < m; ++u) {
     for (std::size_t a = 0; a < d; ++a) {
@@ -19,6 +20,7 @@ Multidigraph make_generalized_de_bruijn(std::size_t m, std::size_t d) {
 }
 
 Multidigraph make_de_bruijn_star(std::size_t m, std::size_t d) {
+  if (m < 2 || d < 1) return Multidigraph(m);  // see header
   Multidigraph g = make_generalized_de_bruijn(m, d);
 
   std::vector<std::size_t> loops(m);

@@ -13,13 +13,18 @@ namespace allconcur::graph {
 /// Generalized de Bruijn digraph GB(m,d) (Du & Hwang): vertices 0..m-1,
 /// edges u -> (u*d + a) mod m for a = 0..d-1. Returned as a multigraph
 /// because for d > m the arithmetic produces parallel edges and self-loops.
+/// Degenerate parameters (m < 2 or d < 1) fall back to the edgeless
+/// multigraph on m vertices — the complete multigraph on fewer than two
+/// vertices — instead of aborting.
 Multidigraph make_generalized_de_bruijn(std::size_t m, std::size_t d);
 
 /// G*B(m,d): GB(m,d) with self-loops replaced by cycles, exactly as in the
 /// paper — floor(d/m) cycles through all vertices plus, when m does not
 /// divide d, one extra cycle through the vertices holding ceil(d/m)
 /// self-loops. The result is d-regular with no self-loops (possibly with
-/// parallel edges).
+/// parallel edges). Degenerate parameters (m < 2 or d < 1) fall back to
+/// the edgeless multigraph on m vertices, matching
+/// make_generalized_de_bruijn.
 Multidigraph make_de_bruijn_star(std::size_t m, std::size_t d);
 
 /// Line digraph L(G): one vertex per edge of G (in canonical edge order);

@@ -10,8 +10,10 @@
 namespace allconcur::graph {
 
 Digraph make_gs_digraph(std::size_t n, std::size_t d) {
-  ALLCONCUR_ASSERT(d >= 3, "GS(n,d) requires d >= 3");
-  ALLCONCUR_ASSERT(n >= 2 * d, "GS(n,d) requires n >= 2d");
+  // Documented complete-graph fallback: the construction needs d >= 3 and
+  // n >= 2d; anything below that is served by K_n (see header).
+  if (n <= 1) return Digraph(n);
+  if (d < 3 || n < 2 * d) return make_complete(n);
 
   const std::size_t m = n / d;
   const std::size_t t = n % d;

@@ -9,7 +9,16 @@
 
 namespace allconcur::graph {
 
-/// Builds GS(n,d). Requires d >= 3 and n >= 2d.
+/// Builds GS(n,d) for d >= 3 and n >= 2d.
+///
+/// Degenerate parameters fall back to the complete digraph on n vertices
+/// (and the edgeless digraph for n <= 1) instead of aborting: K_n is the
+/// maximally connected overlay on n vertices (k = n-1), the best any
+/// degree can buy at that size. Note k = n-1 can still be below a
+/// requested d > n-1, so callers sizing f = d-1 from the *requested*
+/// degree must clamp to view size. This mirrors the deployment guidance
+/// of §4.4 — below roughly a dozen servers the complete overlay is the
+/// sensible choice anyway.
 ///
 /// Construction (paper §4.4): write n = m*d + t (m >= 2, 0 <= t < d). Take
 /// the line digraph L(G*B(m,d)) of the self-loop-free generalized de Bruijn

@@ -5,7 +5,7 @@
 namespace allconcur::graph {
 
 std::size_t kautz_order(std::size_t d, std::size_t diameter) {
-  ALLCONCUR_ASSERT(d >= 2, "Kautz digraphs need degree >= 2");
+  ALLCONCUR_ASSERT(d >= 1, "Kautz digraphs need degree >= 1");
   ALLCONCUR_ASSERT(diameter >= 1, "Kautz digraphs need diameter >= 1");
   std::size_t pow_dm1 = 1;  // d^(D-1)
   for (std::size_t i = 1; i < diameter; ++i) pow_dm1 *= d;
@@ -27,6 +27,22 @@ Digraph make_kautz(std::size_t d, std::size_t diameter) {
   ALLCONCUR_ASSERT(g.is_regular() && g.degree() == d,
                    "Kautz digraph must be d-regular");
   return g;
+}
+
+Digraph make_kautz_of_order(std::size_t n, std::size_t d) {
+  if (n <= 1) return Digraph(n);
+  if (d >= 1 && n % (d + 1) == 0) {
+    // Kautz orders for degree d are d^(D-1) * (d+1), D = 1, 2, ...
+    std::size_t order = d + 1;
+    for (std::size_t diameter = 1;; ++diameter) {
+      if (order == n) return make_kautz(d, diameter);
+      // d == 1 repeats order 2 forever; otherwise stop before overshooting.
+      if (d == 1 || order > n / d) break;
+      order *= d;
+    }
+  }
+  // Documented complete-graph fallback for non-Kautz orders (see header).
+  return make_complete(n);
 }
 
 }  // namespace allconcur::graph

@@ -13,10 +13,20 @@
 
 namespace allconcur::graph {
 
-/// Number of vertices of the Kautz digraph K(d, D).
+/// Number of vertices of the Kautz digraph K(d, D). Defined for d >= 1 and
+/// D >= 1; K(1, D) has order 2 for every D.
 std::size_t kautz_order(std::size_t d, std::size_t diameter);
 
-/// Builds K(d, D); requires d >= 2 and D >= 1.
+/// Builds K(d, D) for d >= 1 and D >= 1. The degenerate degree d = 1
+/// yields the complete digraph on 2 vertices (the 2-cycle), exactly what
+/// the Imase–Itoh arithmetic produces — documented fallback, not UB.
 Digraph make_kautz(std::size_t d, std::size_t diameter);
+
+/// Builds the degree-d Kautz digraph with exactly n vertices, i.e. the
+/// K(d, D) with n = d^(D-1) * (d+1). When no such D exists — in particular
+/// whenever n is not a multiple of d+1 — falls back to the complete
+/// digraph on n vertices (and the edgeless digraph for n <= 1), so any
+/// (n, d) is deployable without aborting.
+Digraph make_kautz_of_order(std::size_t n, std::size_t d);
 
 }  // namespace allconcur::graph

@@ -18,9 +18,8 @@ namespace {
 using testing::LoopbackCluster;
 
 GraphBuilder builder() {
-  return [](std::size_t n) {
-    return n < 6 ? graph::make_complete(n) : graph::make_gs_digraph(n, 3);
-  };
+  // make_gs_digraph's documented fallback covers n < 6 with K_n.
+  return [](std::size_t n) { return graph::make_gs_digraph(n, 3); };
 }
 
 TEST(Leave, VoluntaryDepartureShrinksView) {

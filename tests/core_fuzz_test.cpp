@@ -10,11 +10,13 @@
 #include "core/message.hpp"
 #include "graph/digraph.hpp"
 
+#include "test_env.hpp"
+
 namespace allconcur::core {
 namespace {
 
 TEST(Fuzz, DecoderSurvivesRandomBytes) {
-  Rng rng(0xf00d);
+  Rng rng(testing::test_seed_offset() + 0xf00d);
   for (int iter = 0; iter < 20000; ++iter) {
     const std::size_t len = rng.next_below(96);
     std::vector<std::uint8_t> bytes(len);
@@ -29,7 +31,7 @@ TEST(Fuzz, DecoderSurvivesRandomBytes) {
 }
 
 TEST(Fuzz, DecoderRoundTripsMutatedHeaders) {
-  Rng rng(0xbeef);
+  Rng rng(testing::test_seed_offset() + 0xbeef);
   const auto base = encode(Message::bcast(3, 1, make_payload({1, 2, 3, 4})));
   for (int iter = 0; iter < 5000; ++iter) {
     auto bytes = base;
@@ -41,7 +43,7 @@ TEST(Fuzz, DecoderRoundTripsMutatedHeaders) {
 }
 
 TEST(Fuzz, BatchParserSurvivesRandomBytes) {
-  Rng rng(0xcafe);
+  Rng rng(testing::test_seed_offset() + 0xcafe);
   for (int iter = 0; iter < 20000; ++iter) {
     const std::size_t len = rng.next_below(64);
     std::vector<std::uint8_t> bytes(len);
@@ -55,7 +57,7 @@ TEST(Fuzz, EngineSurvivesHostileMessageStream) {
   // An adversary that controls a peer's link can send any well-formed
   // protocol message. The engine may drop them, but must not crash,
   // deliver inconsistently, or corrupt its round state.
-  Rng rng(0xdead);
+  Rng rng(testing::test_seed_offset() + 0xdead);
   std::vector<NodeId> members{0, 1, 2, 3, 4};
   const auto builder = [](std::size_t n) { return graph::make_complete(n); };
   Engine::Hooks hooks;

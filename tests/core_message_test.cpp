@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
+#include "core/batch.hpp"
+#include "test_env.hpp"
+
 namespace allconcur::core {
 namespace {
 
@@ -76,6 +80,137 @@ TEST(Message, DecodeRejectsBadType) {
   EXPECT_FALSE(decode(bytes).has_value());
   bytes[0] = 99;
   EXPECT_FALSE(decode(bytes).has_value());
+}
+
+// ------------------------------------------------------------------------
+// Randomized round-trips (fixed seed; ALLCONCUR_TEST_SEED shifts them).
+// ------------------------------------------------------------------------
+
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t len) {
+  std::vector<std::uint8_t> out(len);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+void expect_round_trip(const Message& original) {
+  const auto bytes = encode(original);
+  ASSERT_EQ(bytes.size(), original.wire_size());
+  ASSERT_EQ(frame_size(bytes), bytes.size());
+  const auto decoded = decode(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, original.type);
+  EXPECT_EQ(decoded->round, original.round);
+  EXPECT_EQ(decoded->origin, original.origin);
+  if (original.type == MsgType::kFail) {
+    EXPECT_EQ(decoded->detector, original.detector);
+  }
+  ASSERT_EQ(decoded->payload_bytes, original.payload_bytes);
+  if (original.payload && !original.payload->empty()) {
+    ASSERT_TRUE(decoded->payload != nullptr);
+    EXPECT_EQ(*decoded->payload, *original.payload);
+  } else {
+    // Zero-byte payloads decode as the canonical null payload.
+    EXPECT_EQ(decoded->payload, nullptr);
+  }
+}
+
+TEST(MessageRandomized, EncodeDecodeRoundTrip) {
+  Rng rng(testing::test_seed_offset() + 0x5e21a112e);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const auto round = rng.next_u64();  // full 64-bit range
+    const auto origin = static_cast<NodeId>(rng.next_u64());
+    const auto detector = static_cast<NodeId>(rng.next_u64());
+    Message m;
+    switch (rng.next_below(6)) {
+      case 0:  // empty payload: the paper's "empty message"
+        m = Message::bcast(round, origin, make_payload({}));
+        break;
+      case 1:
+        m = Message::bcast(round, origin,
+                           make_payload(random_bytes(rng, rng.next_below(512))));
+        break;
+      case 2:
+        m = Message::fail(round, origin, detector);
+        break;
+      case 3:
+        m = Message::fwd(round, origin);
+        break;
+      case 4:
+        m = Message::bwd(round, origin);
+        break;
+      default:
+        m = Message::heartbeat(origin);
+        break;
+    }
+    SCOPED_TRACE("iter " + std::to_string(iter));
+    expect_round_trip(m);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(MessageRandomized, MaxSizePayloadRoundTrip) {
+  // The largest payload we can afford to materialize in a unit test:
+  // 1 MiB of random bytes, plus the exact wire-size accounting.
+  Rng rng(testing::test_seed_offset() + 0xb16);
+  const std::size_t len = 1 << 20;
+  const auto m = Message::bcast(7, 3, make_payload(random_bytes(rng, len)));
+  EXPECT_EQ(m.wire_size(), Message::kHeaderBytes + len);
+  expect_round_trip(m);
+}
+
+TEST(MessageRandomized, SizeOnlyPayloadsAcrossSizes) {
+  Rng rng(testing::test_seed_offset() + 0x512e0);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto bytes_declared = rng.next_below(1 << 16);
+    const auto m = Message::bcast_sized(rng.next_u64(), 1, bytes_declared);
+    const auto decoded = decode(encode(m));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->payload_bytes, bytes_declared);
+  }
+}
+
+TEST(BatchRandomized, PackUnpackRoundTripWithMembershipVariants) {
+  // Batches are the BCAST payload; joins/leaves ride in them (§3), so the
+  // round-trip must preserve kind, subject and data byte-for-byte.
+  Rng rng(testing::test_seed_offset() + 0xba7c4);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::vector<Request> batch;
+    const std::size_t count = rng.next_below(8);
+    for (std::size_t i = 0; i < count; ++i) {
+      switch (rng.next_below(4)) {
+        case 0:
+          batch.push_back(Request::join(static_cast<NodeId>(rng.next_u64())));
+          break;
+        case 1:
+          batch.push_back(Request::leave(static_cast<NodeId>(rng.next_u64())));
+          break;
+        case 2:  // empty data request
+          batch.push_back(Request::of_data({}));
+          break;
+        default:
+          batch.push_back(
+              Request::of_data(random_bytes(rng, rng.next_below(256))));
+          break;
+      }
+    }
+    const Payload packed = pack_batch(batch);
+    const auto unpacked = unpack_batch(packed);
+    ASSERT_TRUE(unpacked.has_value()) << "iter " << iter;
+    ASSERT_EQ(unpacked->size(), batch.size()) << "iter " << iter;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      EXPECT_EQ((*unpacked)[i].kind, batch[i].kind);
+      EXPECT_EQ((*unpacked)[i].subject, batch[i].subject);
+      EXPECT_EQ((*unpacked)[i].data, batch[i].data);
+    }
+    // Batches also survive a full message-layer round-trip.
+    if (packed) {
+      const auto msg = decode(encode(Message::bcast(iter, 0, packed)));
+      ASSERT_TRUE(msg.has_value());
+      const auto again = unpack_batch(msg->payload);
+      ASSERT_TRUE(again.has_value());
+      EXPECT_EQ(again->size(), batch.size());
+    }
+  }
 }
 
 TEST(Message, FrameSize) {

@@ -1,0 +1,136 @@
+// Degenerate-size coverage for the overlay constructors: parameters below
+// each family's validity range (n < 2d for GS, d = 1 for Kautz, n not a
+// multiple of d+1 for Kautz-by-order, m < 2 for de Bruijn) must take the
+// documented complete-graph fallback instead of aborting or UB.
+#include <gtest/gtest.h>
+
+#include "core/view.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/debruijn.hpp"
+#include "graph/digraph.hpp"
+#include "graph/gs_digraph.hpp"
+#include "graph/kautz.hpp"
+#include "graph/properties.hpp"
+
+namespace allconcur::graph {
+namespace {
+
+// ----------------------------------------------------------------- GS(n,d)
+
+TEST(GsDegenerate, BelowTwoDFallsBackToComplete) {
+  // n < 2d: 5 < 6, 7 < 8, 11 < 22 — each must be K_n, not an abort.
+  for (const auto& [n, d] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {5, 3}, {7, 4}, {11, 11}}) {
+    const Digraph g = make_gs_digraph(n, d);
+    EXPECT_EQ(g, make_complete(n)) << "GS(" << n << "," << d << ")";
+  }
+}
+
+TEST(GsDegenerate, DegreeBelowThreeFallsBackToComplete) {
+  EXPECT_EQ(make_gs_digraph(8, 1), make_complete(8));
+  EXPECT_EQ(make_gs_digraph(8, 2), make_complete(8));
+  EXPECT_EQ(make_gs_digraph(8, 0), make_complete(8));
+}
+
+TEST(GsDegenerate, TinyOrdersAreEdgeless) {
+  EXPECT_EQ(make_gs_digraph(0, 3).order(), 0u);
+  const Digraph one = make_gs_digraph(1, 3);
+  EXPECT_EQ(one.order(), 1u);
+  EXPECT_EQ(one.edge_count(), 0u);
+}
+
+TEST(GsDegenerate, FallbackStillMeetsConnectivityTarget) {
+  // The fallback's whole point: K_n has k = n-1 >= d, so every
+  // fault-tolerance bound derived from the requested degree still holds.
+  const Digraph g = make_gs_digraph(5, 3);
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.degree(), 4u);
+  EXPECT_GE(vertex_connectivity(g), 3u);
+}
+
+TEST(GsDegenerate, BoundaryIsExactlyTwoD) {
+  // n == 2d is the smallest genuine GS digraph; it must NOT fall back.
+  const Digraph g = make_gs_digraph(6, 3);
+  EXPECT_NE(g, make_complete(6));
+  EXPECT_TRUE(g.is_regular());
+  EXPECT_EQ(g.degree(), 3u);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+// ------------------------------------------------------------------ Kautz
+
+TEST(KautzDegenerate, DegreeOneIsTheTwoCycle) {
+  // K(1, D) has order 2 for every D and is the complete digraph on 2
+  // vertices; the Imase–Itoh arithmetic must produce it, not abort.
+  for (std::size_t diameter = 1; diameter <= 4; ++diameter) {
+    EXPECT_EQ(kautz_order(1, diameter), 2u);
+    EXPECT_EQ(make_kautz(1, diameter), make_complete(2));
+  }
+}
+
+TEST(KautzByOrder, ExactOrdersBuildKautz) {
+  // d=2: orders 3, 6, 12, 24; d=3: orders 4, 12, 36.
+  EXPECT_EQ(make_kautz_of_order(12, 2), make_kautz(2, 3));
+  EXPECT_EQ(make_kautz_of_order(36, 3), make_kautz(3, 3));
+  EXPECT_EQ(make_kautz_of_order(4, 3), make_kautz(3, 1));
+  EXPECT_EQ(make_kautz_of_order(2, 1), make_kautz(1, 1));
+}
+
+TEST(KautzByOrder, NonMultipleOfDPlusOneFallsBackToComplete) {
+  // 10 is not a multiple of 3 (d=2) and 13 not a multiple of 4 (d=3).
+  EXPECT_EQ(make_kautz_of_order(10, 2), make_complete(10));
+  EXPECT_EQ(make_kautz_of_order(13, 3), make_complete(13));
+}
+
+TEST(KautzByOrder, MultipleOfDPlusOneButNotAKautzOrderFallsBack) {
+  // 9 = 3*3 is a multiple of d+1 = 3 but the d=2 orders are 3, 6, 12, ...
+  EXPECT_EQ(make_kautz_of_order(9, 2), make_complete(9));
+  // 24 = 6*4 is a multiple of d+1 = 4 but the d=3 orders are 4, 12, 36.
+  EXPECT_EQ(make_kautz_of_order(24, 3), make_complete(24));
+}
+
+TEST(KautzByOrder, DegenerateInputs) {
+  EXPECT_EQ(make_kautz_of_order(0, 2).order(), 0u);
+  EXPECT_EQ(make_kautz_of_order(1, 2).order(), 1u);
+  EXPECT_EQ(make_kautz_of_order(6, 0), make_complete(6));
+  // d = 1, n > 2: only order 2 exists, so every larger n falls back.
+  EXPECT_EQ(make_kautz_of_order(6, 1), make_complete(6));
+}
+
+// -------------------------------------------------------------- de Bruijn
+
+TEST(DeBruijnDegenerate, TinyOrdersAreEdgeless) {
+  for (std::size_t m : {0u, 1u}) {
+    const Multidigraph gb = make_generalized_de_bruijn(m, 3);
+    EXPECT_EQ(gb.order(), m);
+    EXPECT_EQ(gb.edges().size(), 0u);
+    const Multidigraph star = make_de_bruijn_star(m, 3);
+    EXPECT_EQ(star.order(), m);
+    EXPECT_EQ(star.edges().size(), 0u);
+  }
+}
+
+TEST(DeBruijnDegenerate, ZeroDegreeIsEdgeless) {
+  EXPECT_EQ(make_generalized_de_bruijn(4, 0).edges().size(), 0u);
+  EXPECT_EQ(make_de_bruijn_star(4, 0).edges().size(), 0u);
+}
+
+// ------------------------------------------------- default overlay builder
+
+TEST(DefaultBuilder, EveryMembershipSizeIsDeployable) {
+  // The engine's default builder must produce a usable overlay at every
+  // size without special-casing, including the degenerate ones.
+  const auto builder = core::make_default_graph_builder();
+  for (std::size_t n = 0; n <= 24; ++n) {
+    const Digraph g = builder(n);
+    ASSERT_EQ(g.order(), n) << "n=" << n;
+    if (n >= 2) {
+      EXPECT_TRUE(is_strongly_connected(g)) << "n=" << n;
+      EXPECT_TRUE(g.is_regular()) << "n=" << n;
+    }
+    if (n >= 2 && n < 6) EXPECT_EQ(g, make_complete(n)) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace allconcur::graph

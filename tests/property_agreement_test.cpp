@@ -16,6 +16,7 @@
 #include "graph/gs_digraph.hpp"
 #include "graph/reliability.hpp"
 #include "loopback_cluster.hpp"
+#include "test_env.hpp"
 
 namespace allconcur::core {
 namespace {
@@ -53,7 +54,11 @@ class AgreementProperty : public ::testing::TestWithParam<PropertyCase> {};
 
 TEST_P(AgreementProperty, HoldsUnderRandomFailures) {
   const PropertyCase& p = GetParam();
-  Rng rng(p.seed);
+  // Fixed per-case schedule by default; ALLCONCUR_TEST_SEED shifts the
+  // whole sweep for soak runs.
+  const std::uint64_t seed = testing::test_seed_offset() + p.seed;
+  SCOPED_TRACE("effective seed " + std::to_string(seed));
+  Rng rng(seed);
   EngineOptions options;
   options.fd_mode = p.dp_mode ? FdMode::kEventuallyPerfect : FdMode::kPerfect;
   LoopbackCluster c(p.n, overlay_for(p), options);
@@ -160,10 +165,15 @@ INSTANTIATE_TEST_SUITE_P(Sweep, AgreementProperty,
 class MultiRoundProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(MultiRoundProperty, AgreementAcrossShrinkingViews) {
-  Rng rng(GetParam());
+  // Shifted like every other sweep so ALLCONCUR_TEST_SEED soaks explore
+  // fresh schedules here too.
+  const std::uint64_t seed = testing::test_seed_offset() + GetParam();
+  SCOPED_TRACE("effective seed " + std::to_string(seed));
+  Rng rng(seed);
   const std::size_t n = 11;
+  // make_gs_digraph's documented fallback covers m < 6 with K_m.
   LoopbackCluster c(n, [](std::size_t m) {
-    return m < 6 ? graph::make_complete(m) : graph::make_gs_digraph(m, 3);
+    return graph::make_gs_digraph(m, 3);
   });
 
   std::set<NodeId> crashed;

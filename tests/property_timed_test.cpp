@@ -9,16 +9,22 @@
 
 #include "api/sim_cluster.hpp"
 #include "common/rng.hpp"
+#include "test_env.hpp"
 
 namespace allconcur::api {
 namespace {
 
 using core::RoundResult;
+using testing::scaled;
 
 class TimedProperty : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(TimedProperty, ContinuousRoundsUnderRandomCrashes) {
-  Rng rng(GetParam());
+  // Base schedule is fixed per param; ALLCONCUR_TEST_SEED shifts the whole
+  // sweep for soak runs (the effective seed is param + offset).
+  const std::uint64_t seed = testing::test_seed_offset() + GetParam();
+  SCOPED_TRACE("effective seed " + std::to_string(seed));
+  Rng rng(seed);
   ClusterOptions opt;
   opt.n = 16;  // GS(16,4): tolerates up to 3 concurrent failures
   opt.detection_delay = us(200 + rng.next_below(800));
@@ -48,7 +54,9 @@ TEST_P(TimedProperty, ContinuousRoundsUnderRandomCrashes) {
   }
 
   c.broadcast_all_now();
-  c.run_for(ms(50));
+  // Simulated horizon bounds real work, so it is budget-like: scale it via
+  // ALLCONCUR_TEST_TIME_SCALE instead of hard-coding for fast machines.
+  c.run_for(scaled(ms(50)));
 
   const auto live = c.live_nodes();
   ASSERT_GE(live.size(), opt.n - crashes);

@@ -10,7 +10,9 @@
 #include <unistd.h>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "net/tcp_transport.hpp"
+#include "test_env.hpp"
 
 namespace allconcur::testing {
 
@@ -18,9 +20,13 @@ class TcpCluster {
  public:
   explicit TcpCluster(std::size_t n, core::FdMode fd_mode = core::FdMode::kPerfect,
                       DurationNs fd_timeout = ms(250)) {
-    // Port block derived from the pid so parallel test runs don't collide.
+    // Port block drawn from a deterministic RNG (so a given seed names a
+    // given port layout) and mixed with the pid so parallel ctest
+    // processes on one host don't collide.
+    Rng rng(test_seed() ^ static_cast<std::uint64_t>(::getpid()));
     const std::uint16_t base =
-        static_cast<std::uint16_t>(20000 + (::getpid() * 131) % 30000);
+        static_cast<std::uint16_t>(20000 + rng.next_below(30000));
+    fd_timeout = scaled(fd_timeout);
     std::vector<NodeId> members(n);
     for (std::size_t i = 0; i < n; ++i) members[i] = static_cast<NodeId>(i);
     for (std::size_t i = 0; i < n; ++i) {
@@ -41,7 +47,7 @@ class TcpCluster {
     for (auto& node : nodes_) {
       threads_.emplace_back([&node] { node->run(); });
     }
-    for (auto& node : nodes_) node->wait_connected(sec(10));
+    for (auto& node : nodes_) node->wait_connected(scaled(sec(10)));
   }
 
   ~TcpCluster() {
@@ -58,10 +64,11 @@ class TcpCluster {
   }
 
   /// Waits until every node in `ids` completed at least `rounds` rounds.
+  /// The budget is scaled by ALLCONCUR_TEST_TIME_SCALE for slow runners.
   bool wait_rounds(const std::vector<NodeId>& ids, std::uint64_t rounds,
                    DurationNs timeout) {
-    const auto deadline =
-        std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::nanoseconds(scaled(timeout));
     for (;;) {
       bool done = true;
       for (NodeId id : ids) {

@@ -17,6 +17,12 @@ using namespace allconcur;
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
   const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 16));
+  if (n < 2) {
+    // A single server has no successors to relay through: the simulated
+    // round loop would spin at one instant forever.
+    std::fprintf(stderr, "allconcur_run: --n must be >= 2 (got %zu)\n", n);
+    return 2;
+  }
   const std::string fabric_name = flags.get("fabric", "tcp");
   const double seconds = flags.get_double("seconds", 1.0);
   const double rate = flags.get_double("rate", 10000.0);
