@@ -20,6 +20,9 @@
 //             substitute; see DESIGN.md)
 //   api/    — SimCluster deployments
 //   net/    — real TCP transport (epoll) for multi-process runs
+//   smr/    — state-machine replication on the delivered stream: the
+//             replicated KV store, client sessions (exactly-once),
+//             snapshots, and the Sim/TCP mounts
 #pragma once
 
 #include "api/sim_cluster.hpp"
@@ -36,5 +39,7 @@
 #include "graph/gs_digraph.hpp"
 #include "graph/properties.hpp"
 #include "graph/reliability.hpp"
+#include "net/tcp_transport.hpp"
 #include "sim/network_model.hpp"
 #include "sim/simulator.hpp"
+#include "smr/smr.hpp"

@@ -1,0 +1,146 @@
+#include "smr/command.hpp"
+
+#include "smr/wire.hpp"
+
+namespace allconcur::smr {
+
+using wire::get_u32;
+using wire::get_u64;
+using wire::put_blob;
+using wire::put_u32;
+using wire::put_u64;
+
+// Envelope layout: [u8 magic][u64 session][u64 seq][command bytes].
+std::vector<std::uint8_t> encode_envelope(
+    std::uint64_t session, std::uint64_t seq,
+    std::span<const std::uint8_t> command) {
+  std::vector<std::uint8_t> out;
+  out.reserve(17 + command.size());
+  out.push_back(kEnvelopeMagic);
+  put_u64(out, session);
+  put_u64(out, seq);
+  out.insert(out.end(), command.begin(), command.end());
+  return out;
+}
+
+std::optional<Envelope> decode_envelope(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 17 || bytes[0] != kEnvelopeMagic) return std::nullopt;
+  Envelope env;
+  std::size_t at = 1;
+  if (!get_u64(bytes, at, env.session) || !get_u64(bytes, at, env.seq)) {
+    return std::nullopt;
+  }
+  env.command = bytes.subspan(at);
+  return env;
+}
+
+Command Command::put(Bytes key, Bytes value) {
+  Command c;
+  c.op = Op::kPut;
+  c.key = std::move(key);
+  c.value = std::move(value);
+  return c;
+}
+
+Command Command::get(Bytes key) {
+  Command c;
+  c.op = Op::kGet;
+  c.key = std::move(key);
+  return c;
+}
+
+Command Command::del(Bytes key) {
+  Command c;
+  c.op = Op::kDelete;
+  c.key = std::move(key);
+  return c;
+}
+
+Command Command::cas(Bytes key, Bytes expected, Bytes value) {
+  Command c;
+  c.op = Op::kCas;
+  c.key = std::move(key);
+  c.expected = std::move(expected);
+  c.value = std::move(value);
+  return c;
+}
+
+Command Command::cas_absent(Bytes key, Bytes value) {
+  Command c;
+  c.op = Op::kCas;
+  c.key = std::move(key);
+  c.value = std::move(value);
+  c.expect_absent = true;
+  return c;
+}
+
+// Command layout:
+//   [u8 op][u8 flags][u32 klen][u32 vlen][u32 elen][key][value][expected]
+Bytes encode_command(const Command& cmd) {
+  Bytes out;
+  out.reserve(14 + cmd.key.size() + cmd.value.size() + cmd.expected.size());
+  out.push_back(static_cast<std::uint8_t>(cmd.op));
+  out.push_back(cmd.expect_absent ? 1 : 0);
+  put_u32(out, static_cast<std::uint32_t>(cmd.key.size()));
+  put_u32(out, static_cast<std::uint32_t>(cmd.value.size()));
+  put_u32(out, static_cast<std::uint32_t>(cmd.expected.size()));
+  out.insert(out.end(), cmd.key.begin(), cmd.key.end());
+  out.insert(out.end(), cmd.value.begin(), cmd.value.end());
+  out.insert(out.end(), cmd.expected.begin(), cmd.expected.end());
+  return out;
+}
+
+std::optional<Command> decode_command(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 14) return std::nullopt;
+  const std::uint8_t op = bytes[0];
+  if (op < 1 || op > 4) return std::nullopt;
+  const std::uint8_t flags = bytes[1];
+  if (flags > 1) return std::nullopt;
+  std::size_t at = 2;
+  std::uint32_t klen = 0, vlen = 0, elen = 0;
+  if (!get_u32(bytes, at, klen) || !get_u32(bytes, at, vlen) ||
+      !get_u32(bytes, at, elen)) {
+    return std::nullopt;
+  }
+  if (static_cast<std::uint64_t>(klen) + vlen + elen != bytes.size() - at) {
+    return std::nullopt;
+  }
+  Command cmd;
+  cmd.op = static_cast<Command::Op>(op);
+  cmd.expect_absent = flags == 1;
+  const auto take = [&](std::uint32_t len, Bytes& out) {
+    out.assign(bytes.begin() + static_cast<std::ptrdiff_t>(at),
+               bytes.begin() + static_cast<std::ptrdiff_t>(at + len));
+    at += len;
+  };
+  take(klen, cmd.key);
+  take(vlen, cmd.value);
+  take(elen, cmd.expected);
+  return cmd;
+}
+
+// Response layout: [u8 status][u8 has_value][u32 len][value bytes].
+Bytes encode_response(const KvResponse& r) {
+  Bytes out;
+  out.reserve(6 + r.value.size());
+  out.push_back(static_cast<std::uint8_t>(r.status));
+  out.push_back(r.has_value ? 1 : 0);
+  put_blob(out, r.value);
+  return out;
+}
+
+std::optional<KvResponse> decode_response(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 6) return std::nullopt;
+  if (bytes[0] > 3 || bytes[1] > 1) return std::nullopt;
+  KvResponse r;
+  r.status = static_cast<KvResponse::Status>(bytes[0]);
+  r.has_value = bytes[1] == 1;
+  std::size_t at = 2;
+  if (!wire::get_blob(bytes, at, r.value) || at != bytes.size()) {
+    return std::nullopt;
+  }
+  return r;
+}
+
+}  // namespace allconcur::smr

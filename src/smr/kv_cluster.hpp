@@ -1,0 +1,135 @@
+// SimKvCluster: the replicated KV store mounted on a simulated AllConcur
+// deployment — one Replica+KvStore per node, driven by the cluster's
+// delivery stream.
+//
+// Beyond per-node replicas it keeps the machinery a real deployment
+// needs:
+//   * a round log (each agreed RoundResult, recorded once) and periodic
+//     reference snapshots, so joiners and lagging replicas catch up via
+//     snapshot + bounded log replay instead of replaying from round 0;
+//   * a per-round divergence guard: the reference replica's state hash is
+//     recorded when a round is first applied, and every other replica is
+//     asserted against it — a silent ordering bug aborts loudly;
+//   * client session plumbing: execute() submits a command at a node,
+//     runs the simulation until the command's response is applied there,
+//     and returns it; retry() resubmits the last command (possibly at a
+//     different node after a crash) with exactly-once semantics.
+//
+// Reads: kv(id).get_local() is a local read (read-your-writes relative to
+// what node `id` has applied). read_barrier(id, r) runs the simulation
+// until node `id` applied round r — after a barrier on a round the client
+// observed, a local read is linearizable (the replica's state includes
+// every command that was agreed before the observation).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "api/sim_cluster.hpp"
+#include "smr/kv_store.hpp"
+#include "smr/replica.hpp"
+
+namespace allconcur::smr {
+
+struct SimKvOptions {
+  api::ClusterOptions cluster;
+  /// Take a reference snapshot every this many rounds (join/catch-up
+  /// restore points). 0 disables periodic snapshots.
+  Round snapshot_every = 8;
+  /// Restore points retained; the round log is truncated below the
+  /// oldest retained snapshot.
+  std::size_t keep_snapshots = 4;
+};
+
+class SimKvCluster {
+ public:
+  explicit SimKvCluster(SimKvOptions options);
+  explicit SimKvCluster(api::ClusterOptions cluster_options)
+      : SimKvCluster(SimKvOptions{.cluster = std::move(cluster_options)}) {}
+
+  api::SimCluster& cluster() { return cluster_; }
+  sim::Simulator& sim() { return cluster_.sim(); }
+
+  bool has_replica(NodeId id) const;
+  Replica& replica(NodeId id);
+  const Replica& replica(NodeId id) const;
+  const KvStore& kv(NodeId id) const;
+
+  /// Chained observation (the cluster's own on_deliver is taken by the
+  /// SMR layer; this fires after the replica applied the round).
+  std::function<void(NodeId, const core::RoundResult&, TimeNs)> on_deliver;
+
+  /// A fresh client session (deterministic unique id).
+  KvSession make_session();
+
+  // ---- Client operations ----
+  /// Submits `cmd` under `session` at `node` and runs the simulation
+  /// until node's replica applied it (or `budget` sim time passed).
+  std::optional<KvResponse> execute(NodeId node, KvSession& session,
+                                    const Command& cmd,
+                                    DurationNs budget = sec(5));
+  /// Resubmits the session's last command at `node` (retry after a crash
+  /// or timeout; applied exactly once even if the original also landed).
+  std::optional<KvResponse> retry(NodeId node, KvSession& session,
+                                  DurationNs budget = sec(5));
+  /// Submit without driving the simulation (to pack several commands
+  /// into one round); pair with cluster().broadcast_now() + run.
+  void submit(NodeId node, KvSession& session, const Command& cmd);
+
+  /// Runs the simulation until node `id` applied round `round`.
+  bool read_barrier(NodeId id, Round round, DurationNs budget = sec(5));
+
+  // ---- Catch-up machinery ----
+  /// The agreed result of a logged round (nullptr if truncated/unknown).
+  const core::RoundResult* logged_round(Round round) const;
+  /// Builds a fresh replica from the best retained snapshot ≤ `upto` and
+  /// replays the log to round `upto` (exclusive). Returns nullptr if the
+  /// log no longer covers the gap.
+  std::unique_ptr<Replica> spawn_replica_at(Round upto) const;
+
+  /// True iff all live replicas that reached the same round agree on the
+  /// state hash (the per-round guard asserts this continuously; this is
+  /// the end-of-test summary check).
+  bool converged() const;
+  /// Reference hash after applying `round` (nullopt if not yet applied).
+  std::optional<std::uint64_t> hash_after(Round round) const;
+
+ private:
+  void handle_delivery(NodeId who, const core::RoundResult& result,
+                       TimeNs when);
+  /// Advances the reference replica over consecutively logged rounds,
+  /// recording hashes and taking periodic restore points.
+  void drain_reference();
+  /// Mounts replicas for joiners whose history gap has been filled.
+  void flush_pending_mounts();
+  void apply_to(NodeId who, const core::RoundResult& result);
+  bool drive(DurationNs budget, const std::function<bool()>& done);
+  std::optional<KvResponse> await_response(NodeId node,
+                                           const KvSession& session,
+                                           DurationNs budget);
+
+  SimKvOptions options_;
+  api::SimCluster cluster_;
+  std::vector<std::unique_ptr<Replica>> replicas_;  // indexed by NodeId
+
+  // Agreed history: RoundResults are identical across nodes, recorded on
+  // first delivery. The reference replica applies them as consecutive
+  // rounds become available (a freshly activated joiner can deliver its
+  // first round before its sponsor's own delivery callback ran, so first
+  // observations are not always in order) and provides the per-round
+  // hash and the periodic snapshots.
+  std::map<Round, core::RoundResult> round_log_;
+  Replica reference_;
+  std::map<Round, std::uint64_t> hash_after_round_;
+  std::deque<std::pair<Round, std::vector<std::uint8_t>>> snapshots_;
+  // Joiner deliveries buffered until the history below them is complete.
+  std::map<NodeId, std::vector<core::RoundResult>> pending_mounts_;
+
+  std::uint64_t next_session_ = 1;
+};
+
+}  // namespace allconcur::smr

@@ -1,0 +1,115 @@
+#include "smr/kv_store.hpp"
+
+#include "smr/wire.hpp"
+
+namespace allconcur::smr {
+
+using wire::get_blob;
+using wire::get_u64;
+using wire::put_u32;
+using wire::put_u64;
+
+std::vector<std::uint8_t> KvStore::apply(
+    std::span<const std::uint8_t> command) {
+  // Fold the exact agreed bytes into the divergence hash before anything
+  // else: even a malformed command must perturb every replica equally.
+  hash_ = fnv1a64(hash_, command);
+  ++applied_;
+  KvResponse resp;
+  const auto cmd = decode_command(command);
+  if (!cmd) {
+    resp.status = KvResponse::Status::kBadCommand;
+  } else {
+    resp = execute(*cmd);
+  }
+  return encode_response(resp);
+}
+
+KvResponse KvStore::execute(const Command& cmd) {
+  KvResponse resp;
+  switch (cmd.op) {
+    case Command::Op::kPut:
+      map_[cmd.key] = cmd.value;
+      break;
+    case Command::Op::kGet: {
+      const auto it = map_.find(cmd.key);
+      if (it == map_.end()) {
+        resp.status = KvResponse::Status::kNotFound;
+      } else {
+        resp.value = it->second;
+        resp.has_value = true;
+      }
+      break;
+    }
+    case Command::Op::kDelete:
+      if (map_.erase(cmd.key) == 0) {
+        resp.status = KvResponse::Status::kNotFound;
+      }
+      break;
+    case Command::Op::kCas: {
+      const auto it = map_.find(cmd.key);
+      const bool match = cmd.expect_absent
+                             ? it == map_.end()
+                             : it != map_.end() && it->second == cmd.expected;
+      if (match) {
+        map_[cmd.key] = cmd.value;
+      } else {
+        resp.status = KvResponse::Status::kCasFailed;
+        if (it != map_.end()) {
+          resp.value = it->second;
+          resp.has_value = true;
+        }
+      }
+      break;
+    }
+  }
+  return resp;
+}
+
+std::optional<Bytes> KvStore::get_local(const Bytes& key) const {
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+// Snapshot layout:
+//   [u64 hash][u64 applied][u64 entry count]
+//   then per entry: [u32 klen][key][u32 vlen][value]
+// The map is ordered, so snapshots of equal states are byte-identical.
+std::vector<std::uint8_t> KvStore::snapshot() const {
+  std::vector<std::uint8_t> out;
+  put_u64(out, hash_);
+  put_u64(out, applied_);
+  put_u64(out, static_cast<std::uint64_t>(map_.size()));
+  for (const auto& [key, value] : map_) {
+    put_u32(out, static_cast<std::uint32_t>(key.size()));
+    out.insert(out.end(), key.begin(), key.end());
+    put_u32(out, static_cast<std::uint32_t>(value.size()));
+    out.insert(out.end(), value.begin(), value.end());
+  }
+  return out;
+}
+
+bool KvStore::restore(std::span<const std::uint8_t> bytes) {
+  std::size_t at = 0;
+  std::uint64_t hash = 0, applied = 0, count = 0;
+  if (!get_u64(bytes, at, hash) || !get_u64(bytes, at, applied) ||
+      !get_u64(bytes, at, count)) {
+    return false;
+  }
+  std::map<Bytes, Bytes> map;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Bytes key, value;
+    if (!get_blob(bytes, at, key) || !get_blob(bytes, at, value)) {
+      return false;
+    }
+    map.emplace(std::move(key), std::move(value));
+  }
+  if (at != bytes.size()) return false;
+  map_ = std::move(map);
+  hash_ = hash;
+  applied_ = applied;
+  return true;
+}
+
+}  // namespace allconcur::smr

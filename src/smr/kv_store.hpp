@@ -1,0 +1,50 @@
+// Replicated key-value store: the repo's first real SMR workload.
+//
+// A deterministic StateMachine over an ordered map of binary-safe keys
+// and values, driven by the KV command format of smr/command.hpp. Every
+// applied command (including reads — they are part of the agreed stream)
+// is folded into a running FNV-1a state hash, so replicas can cheaply
+// assert they never diverged: same commands in the same order ⇒ same
+// hash, and any ordering or determinism bug flips it loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "smr/command.hpp"
+#include "smr/state_machine.hpp"
+
+namespace allconcur::smr {
+
+class KvStore final : public StateMachine {
+ public:
+  std::vector<std::uint8_t> apply(
+      std::span<const std::uint8_t> command) override;
+  std::vector<std::uint8_t> snapshot() const override;
+  bool restore(std::span<const std::uint8_t> bytes) override;
+  std::uint64_t state_hash() const override { return hash_; }
+
+  /// Local read, bypassing the agreed stream: reflects everything this
+  /// replica has applied (read-your-writes once the client's commands
+  /// were applied here; see Replica's read barrier for linearizability).
+  std::optional<Bytes> get_local(const Bytes& key) const;
+  bool contains(const Bytes& key) const { return map_.count(key) > 0; }
+
+  std::size_t size() const { return map_.size(); }
+  std::uint64_t commands_applied() const { return applied_; }
+
+  /// Deterministic iteration (ordered map) — tests and tools only.
+  const std::map<Bytes, Bytes>& contents() const { return map_; }
+
+ private:
+  KvResponse execute(const Command& cmd);
+
+  std::map<Bytes, Bytes> map_;
+  std::uint64_t hash_ = kFnv64Offset;
+  std::uint64_t applied_ = 0;
+};
+
+}  // namespace allconcur::smr

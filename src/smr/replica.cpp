@@ -1,0 +1,87 @@
+#include "smr/replica.hpp"
+
+#include "common/assert.hpp"
+#include "core/batch.hpp"
+#include "smr/wire.hpp"
+
+namespace allconcur::smr {
+
+using wire::get_u32;
+using wire::get_u64;
+using wire::put_u32;
+using wire::put_u64;
+
+namespace {
+
+// Snapshot framing: a magic prefix guards against feeding a bare
+// KvStore snapshot (or garbage) to Replica::restore.
+constexpr std::uint32_t kSnapshotMagic = 0x52534d53;  // "SMSR"
+
+}  // namespace
+
+Replica::Replica(std::unique_ptr<StateMachine> machine)
+    : machine_(std::move(machine)) {
+  ALLCONCUR_ASSERT(machine_ != nullptr, "Replica needs a state machine");
+}
+
+void Replica::on_round(const core::RoundResult& result) {
+  ALLCONCUR_ASSERT(result.round == next_round_,
+                   "rounds must be applied consecutively");
+  // RoundResult::deliveries is sorted by origin id — the canonical,
+  // replica-independent order. Within one delivery, batch order is the
+  // origin's submission order, identical everywhere by agreement.
+  for (const core::Delivery& delivery : result.deliveries) {
+    const auto batch = core::unpack_batch(delivery.payload);
+    if (!batch) continue;  // size-only / foreign payload: not ours
+    for (const core::Request& request : *batch) {
+      if (request.kind != core::Request::Kind::kData) continue;
+      const auto env = decode_envelope(request.data);
+      if (!env) continue;  // non-SMR data sharing the stream
+      if (sessions_.is_duplicate(env->session, env->seq)) {
+        ++duplicates_;
+        continue;
+      }
+      auto response = machine_->apply(env->command);
+      sessions_.record(env->session, env->seq, std::move(response));
+      ++applied_;
+    }
+  }
+  ++next_round_;
+}
+
+std::uint64_t Replica::state_hash() const {
+  return fnv1a64_u64(machine_->state_hash(), next_round_);
+}
+
+std::vector<std::uint8_t> Replica::snapshot() const {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kSnapshotMagic);
+  put_u64(out, next_round_);
+  put_u64(out, applied_);
+  put_u64(out, duplicates_);
+  sessions_.encode_into(out);
+  const auto machine = machine_->snapshot();
+  out.insert(out.end(), machine.begin(), machine.end());
+  return out;
+}
+
+bool Replica::restore(std::span<const std::uint8_t> bytes) {
+  std::size_t at = 0;
+  std::uint32_t magic = 0;
+  std::uint64_t next_round = 0, applied = 0, duplicates = 0;
+  if (!get_u32(bytes, at, magic) || magic != kSnapshotMagic) return false;
+  if (!get_u64(bytes, at, next_round) || !get_u64(bytes, at, applied) ||
+      !get_u64(bytes, at, duplicates)) {
+    return false;
+  }
+  SessionTable sessions;
+  if (!sessions.decode_from(bytes, at)) return false;
+  if (!machine_->restore(bytes.subspan(at))) return false;
+  sessions_ = std::move(sessions);
+  next_round_ = next_round;
+  applied_ = applied;
+  duplicates_ = duplicates;
+  return true;
+}
+
+}  // namespace allconcur::smr

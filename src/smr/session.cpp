@@ -1,0 +1,74 @@
+#include "smr/session.hpp"
+
+#include "smr/wire.hpp"
+
+namespace allconcur::smr {
+
+using wire::get_u32;
+using wire::get_u64;
+using wire::put_u32;
+using wire::put_u64;
+
+bool SessionTable::is_duplicate(std::uint64_t session,
+                                std::uint64_t seq) const {
+  const auto it = sessions_.find(session);
+  return it != sessions_.end() && seq <= it->second.last_seq;
+}
+
+void SessionTable::record(std::uint64_t session, std::uint64_t seq,
+                          std::vector<std::uint8_t> response) {
+  Entry& e = sessions_[session];
+  e.last_seq = seq;
+  e.response = std::move(response);
+}
+
+std::optional<std::vector<std::uint8_t>> SessionTable::response(
+    std::uint64_t session, std::uint64_t seq) const {
+  const auto it = sessions_.find(session);
+  if (it == sessions_.end() || it->second.last_seq != seq) {
+    return std::nullopt;
+  }
+  return it->second.response;
+}
+
+const SessionTable::Entry* SessionTable::find(std::uint64_t session) const {
+  const auto it = sessions_.find(session);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+// Layout: [u32 count] then per session
+//   [u64 session][u64 last_seq][u32 response len][response bytes].
+void SessionTable::encode_into(std::vector<std::uint8_t>& out) const {
+  put_u32(out, static_cast<std::uint32_t>(sessions_.size()));
+  for (const auto& [id, entry] : sessions_) {
+    put_u64(out, id);
+    put_u64(out, entry.last_seq);
+    wire::put_blob(out, entry.response);
+  }
+}
+
+bool SessionTable::decode_from(std::span<const std::uint8_t> bytes,
+                               std::size_t& at) {
+  std::uint32_t count = 0;
+  if (!get_u32(bytes, at, count)) return false;
+  std::map<std::uint64_t, Entry> sessions;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint64_t id = 0;
+    Entry e;
+    if (!get_u64(bytes, at, id) || !get_u64(bytes, at, e.last_seq) ||
+        !wire::get_blob(bytes, at, e.response)) {
+      return false;
+    }
+    sessions.emplace(id, std::move(e));
+  }
+  sessions_ = std::move(sessions);
+  return true;
+}
+
+std::vector<std::uint8_t> KvSession::issue(const Command& cmd) {
+  ++seq_;
+  last_envelope_ = encode_envelope(id_, seq_, encode_command(cmd));
+  return last_envelope_;
+}
+
+}  // namespace allconcur::smr

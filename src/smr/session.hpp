@@ -1,0 +1,95 @@
+// Client sessions: exactly-once command application over at-least-once
+// submission.
+//
+// A client that never hears back (its contact node crashed, the response
+// was lost) can only safely retry if retries are idempotent. The standard
+// SMR construction (Raft §6.3 client interaction, Chubby sessions) tags
+// every command with a (session id, sequence number) pair; replicas keep
+// a dedup table keyed by session and apply a command only when its seq is
+// new, caching the latest response for replay to the retrying client.
+//
+// The table itself is replicated state: it is driven purely by the agreed
+// command stream, so all replicas hold identical tables, and it rides
+// inside Replica snapshots so exactly-once survives snapshot/restore.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "smr/command.hpp"
+
+namespace allconcur::smr {
+
+// ---------------------------------------------------------------------------
+// Replica side: the replicated dedup table
+// ---------------------------------------------------------------------------
+
+class SessionTable {
+ public:
+  struct Entry {
+    std::uint64_t last_seq = 0;      ///< highest applied seq for the session
+    std::vector<std::uint8_t> response;  ///< response of that command
+  };
+
+  /// True iff (session, seq) was already applied: seq ≤ the session's
+  /// last applied sequence number.
+  bool is_duplicate(std::uint64_t session, std::uint64_t seq) const;
+
+  /// Records a freshly applied command and caches its response.
+  /// Pre: !is_duplicate(session, seq).
+  void record(std::uint64_t session, std::uint64_t seq,
+              std::vector<std::uint8_t> response);
+
+  /// Cached response for the session's most recent command, if it is
+  /// exactly `seq` (older responses are not retained: clients retry only
+  /// their latest in-flight command).
+  std::optional<std::vector<std::uint8_t>> response(std::uint64_t session,
+                                                    std::uint64_t seq) const;
+
+  const Entry* find(std::uint64_t session) const;
+  std::size_t size() const { return sessions_.size(); }
+
+  /// Deterministic serialization (ordered by session id), appended to
+  /// `out`; decode consumes from `bytes` at `at`.
+  void encode_into(std::vector<std::uint8_t>& out) const;
+  bool decode_from(std::span<const std::uint8_t> bytes, std::size_t& at);
+
+ private:
+  std::map<std::uint64_t, Entry> sessions_;
+};
+
+// ---------------------------------------------------------------------------
+// Client side: session id + sequence numbering + retry
+// ---------------------------------------------------------------------------
+
+/// Issues envelopes for one client session. Session ids must be unique
+/// across clients; deployments pick them (the cluster mounts hand out
+/// counters — a production system would allocate them through the stream
+/// itself or use sufficiently-random 64-bit ids).
+class KvSession {
+ public:
+  explicit KvSession(std::uint64_t id) : id_(id) {}
+
+  std::uint64_t id() const { return id_; }
+  /// Sequence number of the most recently issued command (0 = none yet).
+  std::uint64_t last_seq() const { return seq_; }
+
+  /// Encodes `cmd` under the next sequence number. The returned bytes go
+  /// into core::Request::of_data and may be submitted any number of
+  /// times — replicas apply the command exactly once.
+  std::vector<std::uint8_t> issue(const Command& cmd);
+
+  /// The most recent envelope again, byte-identical (safe resubmission
+  /// after a timeout or contact-node crash). Empty if nothing issued.
+  std::vector<std::uint8_t> retry() const { return last_envelope_; }
+
+ private:
+  std::uint64_t id_;
+  std::uint64_t seq_ = 0;
+  std::vector<std::uint8_t> last_envelope_;
+};
+
+}  // namespace allconcur::smr

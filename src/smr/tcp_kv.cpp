@@ -1,0 +1,125 @@
+#include "smr/tcp_kv.hpp"
+
+#include <chrono>
+
+#include "common/assert.hpp"
+
+namespace allconcur::smr {
+namespace {
+
+std::chrono::steady_clock::time_point deadline_in(DurationNs d) {
+  return std::chrono::steady_clock::now() + std::chrono::nanoseconds(d);
+}
+
+}  // namespace
+
+KvNode::KvNode(net::TcpNodeOptions options)
+    : replica_(std::make_unique<KvStore>()) {
+  node_ = std::make_unique<net::TcpNode>(
+      std::move(options), [this](const core::RoundResult& r) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        replica_.on_round(r);
+      });
+}
+
+KvNode::~KvNode() { stop(); }
+
+void KvNode::start() {
+  ALLCONCUR_ASSERT(!started_, "KvNode::start called twice");
+  started_ = true;
+  thread_ = std::thread([this] { node_->run(); });
+}
+
+void KvNode::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  node_->stop();
+  thread_.join();
+}
+
+bool KvNode::wait_connected(DurationNs timeout) {
+  return node_->wait_connected(timeout);
+}
+
+Round KvNode::next_round() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return replica_.next_round();
+}
+
+std::uint64_t KvNode::state_hash() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return replica_.state_hash();
+}
+
+std::uint64_t KvNode::commands_applied() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return replica_.commands_applied();
+}
+
+std::uint64_t KvNode::duplicates_suppressed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return replica_.duplicates_suppressed();
+}
+
+std::optional<Bytes> KvNode::get_local(const Bytes& key) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto* store = dynamic_cast<const KvStore*>(&replica_.machine());
+  ALLCONCUR_ASSERT(store != nullptr, "KvNode mounts a KvStore");
+  return store->get_local(key);
+}
+
+std::vector<std::uint8_t> KvNode::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return replica_.snapshot();
+}
+
+std::optional<std::vector<std::uint8_t>> KvNode::response_for(
+    std::uint64_t session, std::uint64_t seq) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return replica_.response(session, seq);
+}
+
+std::optional<KvResponse> KvNode::await_response(const KvSession& session,
+                                                 DurationNs timeout) {
+  const auto deadline = deadline_in(timeout);
+  for (;;) {
+    if (const auto bytes = response_for(session.id(), session.last_seq())) {
+      return decode_response(*bytes);
+    }
+    if (std::chrono::steady_clock::now() > deadline) return std::nullopt;
+    // Nudge round progress: a no-op while this round's own message is
+    // already out, otherwise starts the round that carries our command.
+    node_->broadcast_now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+std::optional<KvResponse> KvNode::execute(KvSession& session,
+                                          const Command& cmd,
+                                          DurationNs timeout) {
+  node_->submit(core::Request::of_data(session.issue(cmd)));
+  node_->broadcast_now();
+  return await_response(session, timeout);
+}
+
+std::optional<KvResponse> KvNode::retry(KvSession& session,
+                                        DurationNs timeout) {
+  auto envelope = session.retry();
+  ALLCONCUR_ASSERT(!envelope.empty(), "retry before any command was issued");
+  node_->submit(core::Request::of_data(std::move(envelope)));
+  node_->broadcast_now();
+  return await_response(session, timeout);
+}
+
+bool KvNode::read_barrier(Round round, DurationNs timeout) {
+  const auto deadline = deadline_in(timeout);
+  while (next_round() <= round) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    // Drive empty rounds if nobody else is broadcasting.
+    node_->broadcast_now();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+}  // namespace allconcur::smr

@@ -1,0 +1,81 @@
+// KvNode: the replicated KV store mounted on a real TCP AllConcur node.
+//
+// One KvNode owns one net::TcpNode plus one Replica+KvStore. Deliveries
+// arrive on the transport's event-loop thread and are applied under a
+// mutex; client operations (execute/retry/reads) are safe from any
+// thread and poll wall-clock deadlines, mirroring what a networked
+// client library would do.
+//
+// Round progress on TCP needs broadcasts: execute() broadcasts its own
+// round and keeps nudging broadcast_now() while waiting (a no-op while a
+// round is in flight), so a single active client is enough to drive the
+// cluster. All replicas converge on the same state hash — assert it at
+// the end of every test and example.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+#include "net/tcp_transport.hpp"
+#include "smr/kv_store.hpp"
+#include "smr/replica.hpp"
+
+namespace allconcur::smr {
+
+class KvNode {
+ public:
+  explicit KvNode(net::TcpNodeOptions options);
+  ~KvNode();
+
+  KvNode(const KvNode&) = delete;
+  KvNode& operator=(const KvNode&) = delete;
+
+  /// Spawns the transport's event-loop thread.
+  void start();
+  /// Stops the transport and joins the thread (idempotent; fail-stop for
+  /// crash tests: sockets close, heartbeats cease).
+  void stop();
+  bool wait_connected(DurationNs timeout);
+
+  NodeId self() const { return node_->self(); }
+  net::TcpNode& transport() { return *node_; }
+
+  // ---- Replica state (thread-safe snapshots) ----
+  Round next_round() const;
+  std::uint64_t state_hash() const;
+  std::uint64_t commands_applied() const;
+  std::uint64_t duplicates_suppressed() const;
+  std::optional<Bytes> get_local(const Bytes& key) const;
+  std::vector<std::uint8_t> snapshot() const;
+  std::optional<std::vector<std::uint8_t>> response_for(
+      std::uint64_t session, std::uint64_t seq) const;
+
+  // ---- Client operations ----
+  /// Submits `cmd` under `session` here, drives rounds, and blocks until
+  /// this replica applied it (nullopt on timeout — retry elsewhere).
+  std::optional<KvResponse> execute(KvSession& session, const Command& cmd,
+                                    DurationNs timeout = sec(10));
+  /// Resubmits the session's last command here (exactly-once even if the
+  /// original broadcast also made it through).
+  std::optional<KvResponse> retry(KvSession& session,
+                                  DurationNs timeout = sec(10));
+  /// Blocks until this replica applied `round` (linearizable read point:
+  /// barrier on a round the client observed, then get_local).
+  bool read_barrier(Round round, DurationNs timeout = sec(10));
+
+ private:
+  std::optional<KvResponse> await_response(const KvSession& session,
+                                           DurationNs timeout);
+
+  mutable std::mutex mutex_;
+  Replica replica_;  // guarded by mutex_
+  std::unique_ptr<net::TcpNode> node_;
+  std::thread thread_;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace allconcur::smr

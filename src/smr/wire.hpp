@@ -1,0 +1,65 @@
+// Little-endian wire primitives shared by the SMR serializers
+// (command/session/kv_store/replica). One checked implementation: the
+// putters append to a byte vector, the getters consume via a cursor and
+// report truncation instead of reading out of bounds.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace allconcur::smr::wire {
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+inline bool get_u32(std::span<const std::uint8_t> b, std::size_t& at,
+                    std::uint32_t& v) {
+  if (b.size() < 4 || at > b.size() - 4) return false;
+  v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | b[at + static_cast<std::size_t>(i)];
+  }
+  at += 4;
+  return true;
+}
+
+inline bool get_u64(std::span<const std::uint8_t> b, std::size_t& at,
+                    std::uint64_t& v) {
+  if (b.size() < 8 || at > b.size() - 8) return false;
+  v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | b[at + static_cast<std::size_t>(i)];
+  }
+  at += 8;
+  return true;
+}
+
+/// [u32 length][length bytes].
+inline void put_blob(std::vector<std::uint8_t>& out,
+                     std::span<const std::uint8_t> blob) {
+  put_u32(out, static_cast<std::uint32_t>(blob.size()));
+  out.insert(out.end(), blob.begin(), blob.end());
+}
+
+inline bool get_blob(std::span<const std::uint8_t> b, std::size_t& at,
+                     std::vector<std::uint8_t>& out) {
+  std::uint32_t len = 0;
+  if (!get_u32(b, at, len)) return false;
+  if (len > b.size() - at) return false;
+  out.assign(b.begin() + static_cast<std::ptrdiff_t>(at),
+             b.begin() + static_cast<std::ptrdiff_t>(at + len));
+  at += len;
+  return true;
+}
+
+}  // namespace allconcur::smr::wire
