@@ -119,8 +119,8 @@ void BM_ProtocolRound(benchmark::State& state) {
     for (std::size_t i = 0; i < n; ++i) {
       const NodeId id = static_cast<NodeId>(i);
       Engine::Hooks hooks;
-      hooks.send = [&queue, id](NodeId dst, const Message& m) {
-        queue.emplace_back(id, dst, m);
+      hooks.send = [&queue, id](NodeId dst, const core::FrameRef& f) {
+        queue.emplace_back(id, dst, f->msg());
       };
       hooks.deliver = [&delivered](const core::RoundResult&) { ++delivered; };
       engines[i] = std::make_unique<Engine>(id, core::View(members, builder),

@@ -97,6 +97,7 @@ int main(int argc, char** argv) {
   bench::row("%4s %12s %14s %14s %10s", "n", "value B", "ops/s",
              "MB/s agreed", "replicas");
   bool all_ok = true;
+  std::vector<std::string> json_rows;
   for (const std::int64_t n : sizes) {
     for (const std::int64_t vb : value_sizes) {
       const auto r = run_smr_kv(static_cast<std::size_t>(n),
@@ -113,7 +114,33 @@ int main(int argc, char** argv) {
                  static_cast<long long>(n), static_cast<long long>(vb),
                  r.ops_per_sec, r.agreement_mbps,
                  r.converged ? "converged" : "DIVERGED");
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"n\": %lld, \"value_bytes\": %lld, "
+                    "\"ops_per_sec\": %.0f, \"agreement_mbps\": %.2f, "
+                    "\"converged\": %s}",
+                    static_cast<long long>(n), static_cast<long long>(vb),
+                    r.ops_per_sec, r.agreement_mbps,
+                    r.converged ? "true" : "false");
+      json_rows.emplace_back(buf);
     }
+  }
+  const std::string json_path = flags.get("json", "");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"smr_kv_throughput\",\n  \"smoke\": %s,"
+                 "\n  \"rows\": [\n", smoke ? "true" : "false");
+    for (std::size_t i = 0; i < json_rows.size(); ++i) {
+      std::fprintf(f, "%s%s\n", json_rows[i].c_str(),
+                   i + 1 < json_rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    bench::print_note("wrote " + json_path);
   }
   if (!all_ok) {
     std::fprintf(stderr, "bench failed: stall or replica divergence\n");

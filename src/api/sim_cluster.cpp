@@ -7,6 +7,7 @@
 namespace allconcur::api {
 
 using core::Engine;
+using core::FrameRef;
 using core::HeartbeatFd;
 using core::Message;
 using core::MsgType;
@@ -41,8 +42,8 @@ void SimCluster::create_node(NodeId id, View view, Round start_round) {
   ALLCONCUR_ASSERT(!nodes_[id], "node already exists");
   auto node = std::make_unique<Node>();
   Engine::Hooks hooks;
-  hooks.send = [this, id](NodeId dst, const Message& m) {
-    handle_send(id, dst, m);
+  hooks.send = [this, id](NodeId dst, const FrameRef& frame) {
+    handle_send(id, dst, frame);
   };
   hooks.deliver = [this, id](const RoundResult& r) { handle_delivery(id, r); };
   Engine::Options eopts;
@@ -57,8 +58,8 @@ void SimCluster::wire_fd(NodeId id) {
   if (!options_.heartbeat_fd) return;
   Node& node = *nodes_[id];
   HeartbeatFd::Hooks hooks;
-  hooks.send = [this, id](NodeId dst, const Message& m) {
-    handle_send(id, dst, m);
+  hooks.send = [this, id](NodeId dst, const FrameRef& frame) {
+    handle_send(id, dst, frame);
   };
   hooks.suspect = [this, id](NodeId suspect) {
     Node& n = *nodes_[id];
@@ -128,33 +129,39 @@ std::optional<TimeNs> SimCluster::broadcast_time(NodeId id,
   return it->second;
 }
 
-void SimCluster::handle_send(NodeId src, NodeId dst, const Message& msg) {
+void SimCluster::handle_send(NodeId src, NodeId dst, const FrameRef& frame) {
   Node& sender = *nodes_[src];
   if (sender.crashed) {
     if (!sender.send_limited || sender.sends_left == 0) return;
     --sender.sends_left;
   }
   if (link_filter_ && link_filter_(src, dst)) return;  // partitioned link
+  const Message& msg = frame->msg();
   // Record the instant a node A-broadcasts its own message (used by the
   // latency harnesses as the round start at that node).
   if (msg.type == MsgType::kBroadcast && msg.origin == src) {
     sender.bcast_times.emplace(msg.round, sim_.now());
   }
 
-  const TimeNs done = model_.sender_done(src, dst, msg.wire_size(), sim_.now());
+  // The fabric charges for the frame as it would go on the wire; only the
+  // refcounted handle travels through the event queue.
+  const TimeNs done =
+      model_.sender_done(src, dst, frame->wire_size(), sim_.now());
   const TimeNs arrive = model_.arrival(done);
-  sim_.schedule_at(arrive, [this, src, dst, msg] {
+  sim_.schedule_at(arrive, [this, src, dst, frame] {
     const TimeNs handed =
-        model_.receiver_done(dst, msg.wire_size(), sim_.now());
-    sim_.schedule_at(handed, [this, src, dst, msg] {
+        model_.receiver_done(dst, frame->wire_size(), sim_.now());
+    sim_.schedule_at(handed, [this, src, dst, frame] {
       Node* node = nodes_[dst].get();
       if (!node || node->crashed) return;
       if (!node->active) {
-        node->preactivation.emplace_back(src, msg);
+        node->preactivation.emplace_back(src, frame);
         return;
       }
       if (node->fd) node->fd->on_heartbeat(src, sim_.now());
-      if (msg.type != MsgType::kHeartbeat) node->engine->on_message(src, msg);
+      if (frame->msg().type != MsgType::kHeartbeat) {
+        node->engine->on_message(src, frame->msg());
+      }
     });
   });
 }
@@ -219,9 +226,11 @@ void SimCluster::activate_node(NodeId id) {
   // current round (the others cannot finish it without our message).
   const auto buffered = std::move(node.preactivation);
   node.preactivation.clear();
-  for (const auto& [src, msg] : buffered) {
+  for (const auto& [src, frame] : buffered) {
     if (node.fd) node.fd->on_heartbeat(src, sim_.now());
-    if (msg.type != MsgType::kHeartbeat) node.engine->on_message(src, msg);
+    if (frame->msg().type != MsgType::kHeartbeat) {
+      node.engine->on_message(src, frame->msg());
+    }
   }
   // A joiner may inherit dead-but-member predecessors (see
   // reinject_oracle_suspicions).
@@ -319,6 +328,7 @@ core::EngineStats SimCluster::aggregate_stats() const {
     total.fwd_bwd_sent += s.fwd_bwd_sent;
     total.fwd_bwd_received += s.fwd_bwd_received;
     total.bytes_sent += s.bytes_sent;
+    total.frames_encoded += s.frames_encoded;
     total.dropped_stale += s.dropped_stale;
     total.dropped_suspected += s.dropped_suspected;
     total.dropped_foreign += s.dropped_foreign;

@@ -115,7 +115,7 @@ class SimCluster {
     bool crashed = false;
     bool send_limited = false;
     std::size_t sends_left = 0;
-    std::vector<std::pair<NodeId, core::Message>> preactivation;
+    std::vector<std::pair<NodeId, core::FrameRef>> preactivation;
     std::map<Round, TimeNs> bcast_times;
   };
 
@@ -125,7 +125,10 @@ class SimCluster {
   void reinject_oracle_suspicions(NodeId id);
   void activate_node(NodeId id);
   void wire_fd(NodeId id);
-  void handle_send(NodeId src, NodeId dst, const core::Message& msg);
+  /// In-flight messages are the engine's shared frames: the fabric model
+  /// charges frame->wire_size() and the destination reads the decoded form
+  /// through frame->msg() — nothing is copied anywhere along the path.
+  void handle_send(NodeId src, NodeId dst, const core::FrameRef& frame);
   void handle_delivery(NodeId id, const core::RoundResult& result);
   void schedule_fd_tick(NodeId id);
 

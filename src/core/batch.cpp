@@ -38,10 +38,38 @@ Payload pack_batch(const std::vector<Request>& requests) {
     std::memcpy(out.data() + at + 1, &subject, 4);
     const std::uint32_t len = static_cast<std::uint32_t>(r.data.size());
     std::memcpy(out.data() + at + 5, &len, 4);
-    std::memcpy(out.data() + at + 9, r.data.data(), r.data.size());
+    // Guard empty requests: memcpy from a null data() is UB even for 0.
+    if (!r.data.empty()) {
+      std::memcpy(out.data() + at + 9, r.data.data(), r.data.size());
+    }
     at += 9 + r.data.size();
   }
   return make_payload(std::move(out));
+}
+
+bool scan_membership(
+    const Payload& payload,
+    const std::function<void(Request::Kind kind, NodeId subject)>& fn) {
+  if (!payload) return true;
+  const auto& bytes = *payload;
+  // Validate the whole structure before emitting anything, so a malformed
+  // batch is rejected atomically (same contract as unpack_batch).
+  for (std::size_t at = 0; at < bytes.size();) {
+    if (at + 9 > bytes.size() || bytes[at] > 2) return false;
+    std::uint32_t len;
+    std::memcpy(&len, bytes.data() + at + 5, 4);
+    if (at + 9 + len > bytes.size()) return false;
+    at += 9 + len;
+  }
+  for (std::size_t at = 0; at < bytes.size();) {
+    const auto kind = static_cast<Request::Kind>(bytes[at]);
+    std::uint32_t subject, len;
+    std::memcpy(&subject, bytes.data() + at + 1, 4);
+    std::memcpy(&len, bytes.data() + at + 5, 4);
+    if (kind != Request::Kind::kData) fn(kind, subject);
+    at += 9 + len;
+  }
+  return true;
 }
 
 std::optional<std::vector<Request>> unpack_batch(const Payload& payload) {

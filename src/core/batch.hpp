@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -39,5 +40,14 @@ Payload pack_batch(const std::vector<Request>& requests);
 /// Parses a batch payload; nullopt on malformed bytes. A null payload is an
 /// empty batch.
 std::optional<std::vector<Request>> unpack_batch(const Payload& payload);
+
+/// Walks only the membership-control entries (joins/leaves) of a batch,
+/// skipping over data requests without copying their bytes — the engine
+/// runs this on every delivery, so it must not materialize the batch.
+/// Returns false (emitting nothing) on malformed bytes; a null payload is
+/// an empty batch.
+bool scan_membership(
+    const Payload& payload,
+    const std::function<void(Request::Kind kind, NodeId subject)>& fn);
 
 }  // namespace allconcur::core

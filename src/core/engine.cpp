@@ -38,15 +38,41 @@ Engine::Engine(NodeId self, View view, GraphBuilder builder, Hooks hooks,
 
 void Engine::start_round_state() {
   const std::size_t n = view_->size();
-  const auto rank = view_->rank_of(self_);
-  ALLCONCUR_ASSERT(rank.has_value(), "self not in view");
-  self_rank_ = *rank;
+
+  // Failure-free fast path: the common round keeps the same view, so the
+  // rank and neighbor lists survive; only a membership change recomputes
+  // them. Everything below reuses capacity — assign() refills the flag and
+  // slot vectors in place, and the tracking digraphs are reset one by one
+  // so their vertex/edge storage persists. A steady-state round transition
+  // performs no heap allocation (bench/wire_path measures this).
+  if (neighbors_view_ != view_.get()) {
+    const auto rank = view_->rank_of(self_);
+    ALLCONCUR_ASSERT(rank.has_value(), "self not in view");
+    self_rank_ = *rank;
+    succs_ = view_->successors_of(self_);
+    preds_ = view_->predecessors_of(self_);
+    neighbors_view_ = view_.get();
+  }
 
   msgs_.assign(n, nullptr);
   msg_bytes_.assign(n, 0);
   have_.assign(n, false);
   own_broadcast_ = false;
-  tracking_.assign(n, TrackingDigraph{});
+  if (tracking_.size() > n) {
+    // View shrank: park the spare digraphs (with their capacity) on the
+    // free-list instead of destroying them.
+    std::move(tracking_.begin() + static_cast<std::ptrdiff_t>(n),
+              tracking_.end(), std::back_inserter(tracking_spares_));
+    tracking_.resize(n);
+  }
+  while (tracking_.size() < n) {
+    if (!tracking_spares_.empty()) {
+      tracking_.push_back(std::move(tracking_spares_.back()));
+      tracking_spares_.pop_back();
+    } else {
+      tracking_.emplace_back();
+    }
+  }
   for (std::size_t r = 0; r < n; ++r) {
     if (r == self_rank_) {
       tracking_[r].reset_empty();
@@ -97,25 +123,34 @@ void Engine::do_broadcast() {
   msgs_[self_rank_] = msg.payload;
   msg_bytes_[self_rank_] = msg.payload_bytes;
   have_[self_rank_] = true;
-  send_to_successors(msg);
-  stats_.bcast_sent +=
-      view_->overlay().out_degree(static_cast<NodeId>(self_rank_));
+  stats_.bcast_sent += send_to_successors(msg);
 }
 
-void Engine::send_to_successors(const Message& msg, NodeId skip) {
-  for (NodeId succ : view_->successors_of(self_)) {
-    if (succ == skip) continue;
-    stats_.bytes_sent += msg.wire_size();
-    hooks_.send(succ, msg);
+std::size_t Engine::fan_out(const std::vector<NodeId>& dsts,
+                            const Message& msg, NodeId skip) {
+  std::size_t sent = 0;
+  FrameRef frame;
+  for (NodeId dst : dsts) {
+    if (dst == skip) continue;
+    if (!frame) {
+      // Built once per message, on the first live destination; every
+      // further destination shares the same bytes by reference.
+      frame = Frame::make(msg);
+      ++stats_.frames_encoded;
+    }
+    stats_.bytes_sent += frame->wire_size();
+    hooks_.send(dst, frame);
+    ++sent;
   }
+  return sent;
 }
 
-void Engine::send_to_predecessors(const Message& msg, NodeId skip) {
-  for (NodeId pred : view_->predecessors_of(self_)) {
-    if (pred == skip) continue;
-    stats_.bytes_sent += msg.wire_size();
-    hooks_.send(pred, msg);
-  }
+std::size_t Engine::send_to_successors(const Message& msg, NodeId skip) {
+  return fan_out(succs_, msg, skip);
+}
+
+std::size_t Engine::send_to_predecessors(const Message& msg, NodeId skip) {
+  return fan_out(preds_, msg, skip);
 }
 
 void Engine::on_message(NodeId from, const Message& msg) {
@@ -185,10 +220,9 @@ void Engine::handle_bcast(NodeId from, const Message& msg) {
   msg_bytes_[*origin_rank] = msg.payload_bytes;
 
   // Line 17-18: relay to our successors (skipping the link it came from —
-  // that peer evidently has it).
-  send_to_successors(msg, from);
-  stats_.bcast_sent +=
-      view_->overlay().out_degree(static_cast<NodeId>(self_rank_));
+  // that peer evidently has it). Counts actual sends: the skipped inbound
+  // link does not inflate bcast_sent.
+  stats_.bcast_sent += send_to_successors(msg, from);
 
   // Line 19: m_origin is here, stop tracking it.
   if (!tracking_[*origin_rank].empty()) {
@@ -224,11 +258,10 @@ void Engine::process_failure_pair(NodeId global_j, NodeId global_k,
   if (global_k == self_) suspected_rank_[*rank_j] = true;
 
   if (disseminate) {
-    // Line 22: R-broadcast the notification onward.
-    const Message out = Message::fail(round_, global_j, global_k);
-    send_to_successors(out);
+    // Line 22: R-broadcast the notification onward (fail_sent counts
+    // actual sends, not the nominal out-degree).
     stats_.fail_sent +=
-        view_->overlay().out_degree(static_cast<NodeId>(self_rank_));
+        send_to_successors(Message::fail(round_, global_j, global_k));
   }
 
   // The detector may have left the membership between rounds; its
@@ -310,6 +343,16 @@ void Engine::deliver_round() {
   result.round = round_;
   result.view_size = view_->size();
   std::vector<NodeId> leaves;
+  // One scan callback for the whole round, not one per delivery.
+  const std::function<void(Request::Kind, NodeId)> on_control =
+      [&](Request::Kind kind, NodeId subject) {
+        if (kind == Request::Kind::kJoin && !view_->contains(subject)) {
+          result.joined.push_back(subject);
+        } else if (kind == Request::Kind::kLeave &&
+                   view_->contains(subject)) {
+          leaves.push_back(subject);
+        }
+      };
   for (std::size_t r = 0; r < view_->size(); ++r) {
     if (!have_[r]) {
       result.removed.push_back(view_->member(r));
@@ -320,21 +363,9 @@ void Engine::deliver_round() {
     d.payload = msgs_[r];
     d.bytes = msg_bytes_[r];
     result.deliveries.push_back(d);
-    // Membership control requests ride in ordinary batches.
-    if (d.payload) {
-      const auto requests = unpack_batch(d.payload);
-      if (requests) {
-        for (const Request& req : *requests) {
-          if (req.kind == Request::Kind::kJoin &&
-              !view_->contains(req.subject)) {
-            result.joined.push_back(req.subject);
-          } else if (req.kind == Request::Kind::kLeave &&
-                     view_->contains(req.subject)) {
-            leaves.push_back(req.subject);
-          }
-        }
-      }
-    }
+    // Membership control requests ride in ordinary batches; scanned
+    // without materializing the batch (no per-request data copies).
+    if (d.payload) scan_membership(d.payload, on_control);
   }
   std::sort(result.joined.begin(), result.joined.end());
   result.joined.erase(std::unique(result.joined.begin(), result.joined.end()),

@@ -45,6 +45,9 @@ struct EngineStats {
   std::uint64_t fail_sent = 0, fail_received = 0;
   std::uint64_t fwd_bwd_sent = 0, fwd_bwd_received = 0;
   std::uint64_t bytes_sent = 0;
+  /// Wire frames built: exactly one per message this engine emitted,
+  /// regardless of the overlay out-degree (the zero-copy invariant).
+  std::uint64_t frames_encoded = 0;
   std::uint64_t dropped_stale = 0;      ///< messages for completed rounds
   std::uint64_t dropped_suspected = 0;  ///< ignore-after-suspect (§3.3.2)
   std::uint64_t dropped_foreign = 0;    ///< origin not in the view
@@ -59,8 +62,12 @@ struct EngineOptions {
 class Engine {
  public:
   struct Hooks {
-    /// Emit one protocol message toward a peer (required).
-    std::function<void(NodeId dst, const Message&)> send;
+    /// Emit one protocol message toward a peer (required). The frame is
+    /// shared across the whole fan-out of a send — the engine encodes it
+    /// exactly once per message; transports queue the reference (the bytes
+    /// are immutable and refcounted) instead of copying. The decoded form
+    /// stays available through frame->msg() for in-process consumers.
+    std::function<void(NodeId dst, const FrameRef& frame)> send;
     /// A-deliver one completed round (required).
     std::function<void(const RoundResult&)> deliver;
   };
@@ -116,8 +123,15 @@ class Engine {
   void handle_fwdbwd(NodeId from, const Message& msg);
   void process_failure_pair(NodeId global_j, NodeId global_k,
                             bool disseminate);
-  void send_to_successors(const Message& msg, NodeId skip = kInvalidNode);
-  void send_to_predecessors(const Message& msg, NodeId skip = kInvalidNode);
+  /// Encode-once fan-out: the wire frame is built lazily on the first
+  /// live destination and shared by reference with every further one.
+  /// Returns the number of messages actually handed to the send hook.
+  std::size_t send_to_successors(const Message& msg,
+                                 NodeId skip = kInvalidNode);
+  std::size_t send_to_predecessors(const Message& msg,
+                                   NodeId skip = kInvalidNode);
+  std::size_t fan_out(const std::vector<NodeId>& dsts, const Message& msg,
+                      NodeId skip);
   void check_termination();
   void deliver_round();
 
@@ -130,6 +144,12 @@ class Engine {
   std::shared_ptr<const View> view_;  // immutable; shared across rounds
   std::size_t self_rank_ = 0;
   bool departed_ = false;
+  // Overlay neighbor lists of self (global ids), recomputed only when the
+  // view object changes: the send fast path must not rebuild them per
+  // message.
+  const View* neighbors_view_ = nullptr;
+  std::vector<NodeId> succs_;
+  std::vector<NodeId> preds_;
 
   // Requests buffered for the next own broadcast (§5 batching).
   std::vector<Request> pending_;
@@ -141,6 +161,9 @@ class Engine {
   std::vector<bool> have_;               // m ∈ M_i
   bool own_broadcast_ = false;
   std::vector<TrackingDigraph> tracking_;
+  // Free-list: digraphs parked when the view shrinks, so their vertex/edge
+  // capacity is reused when it grows again instead of reallocating.
+  std::vector<TrackingDigraph> tracking_spares_;
   std::size_t active_tracking_ = 0;
   std::set<std::pair<NodeId, NodeId>> fails_;  // F_i as global-id pairs
   std::vector<bool> failed_rank_;

@@ -52,8 +52,9 @@ void HeartbeatFd::on_heartbeat(NodeId from, TimeNs now) {
 void HeartbeatFd::tick(TimeNs now) {
   if (last_sent_ < 0 || now - last_sent_ >= params_.period) {
     last_sent_ = now;
-    for (NodeId s : successors_) {
-      hooks_.send(s, Message::heartbeat(self_));
+    if (!successors_.empty()) {
+      const FrameRef beat = Frame::make(Message::heartbeat(self_));
+      for (NodeId s : successors_) hooks_.send(s, beat);
     }
   }
   // Collect verdicts first: the suspect callback can complete a round and

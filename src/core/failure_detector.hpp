@@ -28,8 +28,10 @@ class HeartbeatFd {
     DurationNs max_timeout = sec(10);
   };
   struct Hooks {
-    std::function<void(NodeId dst, const Message&)> send;  ///< heartbeat out
-    std::function<void(NodeId suspect)> suspect;           ///< FD verdict
+    /// Heartbeat out: one shared frame per beat, fanned out to all
+    /// successors (same encode-once contract as Engine::Hooks::send).
+    std::function<void(NodeId dst, const FrameRef& frame)> send;
+    std::function<void(NodeId suspect)> suspect;  ///< FD verdict
   };
 
   HeartbeatFd(NodeId self, Params params, Hooks hooks);

@@ -68,8 +68,8 @@ namespace {
 //   [12] u32 payload length
 //   [16] u64 round
 template <typename T>
-void put(std::vector<std::uint8_t>& out, std::size_t offset, T value) {
-  std::memcpy(out.data() + offset, &value, sizeof(T));
+void put(std::uint8_t* out, std::size_t offset, T value) {
+  std::memcpy(out + offset, &value, sizeof(T));
 }
 
 template <typename T>
@@ -79,22 +79,76 @@ T get(std::span<const std::uint8_t> in, std::size_t offset) {
   return value;
 }
 
+void encode_header(const Message& m, std::uint8_t* out) {
+  ALLCONCUR_ASSERT(m.payload_bytes <= Message::kMaxPayloadBytes,
+                   "payload exceeds the 32-bit wire length field");
+  put<std::uint8_t>(out, 0, static_cast<std::uint8_t>(m.type));
+  put<std::uint8_t>(out, 1, 0);
+  put<std::uint16_t>(out, 2, 0);
+  put<std::uint32_t>(out, 4, m.origin);
+  put<std::uint32_t>(out, 8, m.detector);
+  put<std::uint32_t>(out, 12, static_cast<std::uint32_t>(m.payload_bytes));
+  put<std::uint64_t>(out, 16, m.round);
+}
+
+/// Parses header fields only; nullopt on an unknown type tag.
+std::optional<Message> decode_header(std::span<const std::uint8_t> bytes) {
+  Message m;
+  const auto raw_type = get<std::uint8_t>(bytes, 0);
+  if (raw_type < 1 || raw_type > 5) return std::nullopt;
+  m.type = static_cast<MsgType>(raw_type);
+  m.origin = get<std::uint32_t>(bytes, 4);
+  m.detector = get<std::uint32_t>(bytes, 8);
+  m.payload_bytes = get<std::uint32_t>(bytes, 12);
+  m.round = get<std::uint64_t>(bytes, 16);
+  return m;
+}
+
 }  // namespace
+
+FrameRef Frame::make(Message m) {
+  if (m.payload) {
+    ALLCONCUR_ASSERT(m.payload->size() == m.payload_bytes,
+                     "payload size mismatch");
+  }
+  auto frame = std::make_shared<Frame>(MakeTag{});
+  encode_header(m, frame->header_.data());
+  frame->msg_ = std::move(m);
+  return frame;
+}
+
+const Payload& Frame::wire_payload() const {
+  if (msg_.payload) return msg_.payload;
+  if (!wire_payload_ && msg_.payload_bytes > 0) {
+    wire_payload_ = make_payload(
+        std::vector<std::uint8_t>(msg_.payload_bytes, 0));
+  }
+  return wire_payload_;
+}
+
+std::vector<std::uint8_t> Frame::to_bytes() const {
+  std::vector<std::uint8_t> out(wire_size());
+  std::memcpy(out.data(), header_.data(), header_.size());
+  const Payload& p = wire_payload();
+  if (p && !p->empty()) {
+    std::memcpy(out.data() + header_.size(), p->data(), p->size());
+  }
+  return out;
+}
 
 std::vector<std::uint8_t> encode(const Message& m) {
   ALLCONCUR_ASSERT(m.payload_bytes <= Message::kMaxPayloadBytes,
                    "payload exceeds the 32-bit wire length field");
   std::vector<std::uint8_t> out(Message::kHeaderBytes + m.payload_bytes, 0);
-  put<std::uint8_t>(out, 0, static_cast<std::uint8_t>(m.type));
-  put<std::uint32_t>(out, 4, m.origin);
-  put<std::uint32_t>(out, 8, m.detector);
-  put<std::uint32_t>(out, 12, static_cast<std::uint32_t>(m.payload_bytes));
-  put<std::uint64_t>(out, 16, m.round);
+  encode_header(m, out.data());
   if (m.payload) {
     ALLCONCUR_ASSERT(m.payload->size() == m.payload_bytes,
                      "payload size mismatch");
-    std::memcpy(out.data() + Message::kHeaderBytes, m.payload->data(),
-                m.payload->size());
+    // Guard empty payloads: memcpy from a null data() is UB even for 0.
+    if (!m.payload->empty()) {
+      std::memcpy(out.data() + Message::kHeaderBytes, m.payload->data(),
+                  m.payload->size());
+    }
   }
   return out;
 }
@@ -107,18 +161,23 @@ std::optional<std::size_t> frame_size(std::span<const std::uint8_t> bytes) {
 std::optional<Message> decode(std::span<const std::uint8_t> bytes) {
   const auto frame = frame_size(bytes);
   if (!frame || bytes.size() < *frame) return std::nullopt;
-  Message m;
-  const auto raw_type = get<std::uint8_t>(bytes, 0);
-  if (raw_type < 1 || raw_type > 5) return std::nullopt;
-  m.type = static_cast<MsgType>(raw_type);
-  m.origin = get<std::uint32_t>(bytes, 4);
-  m.detector = get<std::uint32_t>(bytes, 8);
-  m.payload_bytes = get<std::uint32_t>(bytes, 12);
-  m.round = get<std::uint64_t>(bytes, 16);
-  if (m.payload_bytes > 0) {
-    m.payload = make_payload(std::vector<std::uint8_t>(
+  auto m = decode_header(bytes);
+  if (!m) return std::nullopt;
+  if (m->payload_bytes > 0) {
+    m->payload = make_payload(std::vector<std::uint8_t>(
         bytes.begin() + Message::kHeaderBytes,
         bytes.begin() + static_cast<std::ptrdiff_t>(*frame)));
+  }
+  return m;
+}
+
+std::optional<Message> decode(const Frame& frame) {
+  auto m = decode_header(frame.header());
+  if (!m) return std::nullopt;
+  if (m->payload_bytes > 0) {
+    const Payload& p = frame.wire_payload();
+    if (!p || p->size() != m->payload_bytes) return std::nullopt;
+    m->payload = p;  // borrow: shares the frame's bytes, no copy
   }
   return m;
 }

@@ -7,9 +7,12 @@
 // heartbeats.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "core/types.hpp"
 
@@ -52,12 +55,65 @@ struct Message {
   static Message heartbeat(NodeId origin);
 };
 
+class Frame;
+/// Shared handle to one encoded message: every successor a frame is queued
+/// to holds a reference to the *same* bytes.
+using FrameRef = std::shared_ptr<const Frame>;
+
+/// One protocol message bound to its encode-once wire image.
+///
+/// AllConcur relays every message along the overlay, so the per-hop cost of
+/// serialization is multiplied by the out-degree. A Frame serializes the
+/// header block exactly once, at construction, and shares the payload bytes
+/// with the Message — they are never copied, no matter how many peers the
+/// frame is queued to. Transports scatter/gather straight from the two
+/// blocks (header(), wire_payload()) with vectored writes; in-process
+/// harnesses read the decoded form through msg().
+class Frame {
+  struct MakeTag {};  // gates construction to make() while allowing
+                      // make_shared's single allocation
+
+ public:
+  explicit Frame(MakeTag) {}
+
+  /// Builds the frame for `m`, serializing the header. O(kHeaderBytes):
+  /// the payload is shared, not copied; one heap allocation total.
+  static FrameRef make(Message m);
+
+  const Message& msg() const { return msg_; }
+  std::span<const std::uint8_t> header() const {
+    return {header_.data(), header_.size()};
+  }
+  /// Payload block as it goes on the wire. Size-only messages (payload
+  /// null, payload_bytes > 0) materialize their zero bytes lazily here, so
+  /// simulation-only traffic never pays for them. Null iff the message
+  /// carries no payload bytes. Not thread-safe: frames are built and
+  /// flushed on one node's event loop.
+  const Payload& wire_payload() const;
+  std::size_t payload_size() const { return msg_.payload_bytes; }
+  std::size_t wire_size() const { return msg_.wire_size(); }
+
+  /// Contiguous copy of the whole frame (tests and non-vectored callers).
+  std::vector<std::uint8_t> to_bytes() const;
+
+ private:
+  Message msg_;
+  std::array<std::uint8_t, Message::kHeaderBytes> header_{};
+  mutable Payload wire_payload_;  // lazily materialized for size-only
+};
+
 /// Serializes for the TCP transport. Size-only payloads are materialized
 /// as zero bytes of the declared length.
 std::vector<std::uint8_t> encode(const Message& m);
 
-/// Parses one message; nullopt on malformed/truncated input.
+/// Parses one message; nullopt on malformed/truncated input. The payload
+/// (if any) is copied out of `bytes` into a fresh shared buffer — the one
+/// copy a reused receive buffer forces; everything downstream shares it.
 std::optional<Message> decode(std::span<const std::uint8_t> bytes);
+
+/// Borrow-decode: parses the frame's header block and *shares* its payload
+/// with the returned Message — zero byte copies.
+std::optional<Message> decode(const Frame& frame);
 
 /// Frame length for a buffer starting with a header (nullopt if the header
 /// is incomplete).

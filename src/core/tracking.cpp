@@ -9,7 +9,10 @@ namespace allconcur::core {
 
 void TrackingDigraph::reset(NodeId root_rank) {
   root_ = root_rank;
-  vertices_ = {root_rank};
+  // clear() + push_back rather than assignment: the engine pools tracking
+  // digraphs across rounds, so reset must keep the allocated capacity.
+  vertices_.clear();
+  vertices_.push_back(root_rank);
   edges_.clear();
 }
 

@@ -1,6 +1,7 @@
 #include "net/tcp_transport.hpp"
 
 #include <arpa/inet.h>
+#include <cerrno>
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -8,6 +9,7 @@
 #include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <sys/timerfd.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <chrono>
@@ -37,6 +39,18 @@ TimeNs monotonic_now() {
       .count();
 }
 
+/// Max iovec segments gathered per sendmsg. Each frame contributes up to
+/// two (header, payload); 64 keeps the stack array small while still
+/// coalescing 32 frames per syscall — far above the steady-state queue
+/// depth, and the flush loops if a burst exceeds it.
+constexpr std::size_t kMaxIov = 64;
+
+/// Receive-buffer compaction threshold: the dead prefix is memmoved away
+/// only once it exceeds this *and* outweighs the live tail. In steady
+/// state every wake consumes the buffer completely, which resets it for
+/// free instead.
+constexpr std::size_t kCompactAt = 64 * 1024;
+
 }  // namespace
 
 TcpNode::TcpNode(TcpNodeOptions options, DeliverFn on_deliver)
@@ -44,8 +58,8 @@ TcpNode::TcpNode(TcpNodeOptions options, DeliverFn on_deliver)
   if (!options_.builder) options_.builder = core::make_default_graph_builder();
 
   core::Engine::Hooks hooks;
-  hooks.send = [this](NodeId dst, const core::Message& m) {
-    send_bytes(dst, core::encode(m));
+  hooks.send = [this](NodeId dst, const core::FrameRef& frame) {
+    queue_frame(dst, frame);
   };
   hooks.deliver = [this](const core::RoundResult& r) {
     completed_rounds_.fetch_add(1, std::memory_order_release);
@@ -59,8 +73,8 @@ TcpNode::TcpNode(TcpNodeOptions options, DeliverFn on_deliver)
 
   if (options_.enable_heartbeats) {
     core::HeartbeatFd::Hooks fd_hooks;
-    fd_hooks.send = [this](NodeId dst, const core::Message& m) {
-      send_bytes(dst, core::encode(m));
+    fd_hooks.send = [this](NodeId dst, const core::FrameRef& frame) {
+      queue_frame(dst, frame);
     };
     fd_hooks.suspect = [this](NodeId suspect) { engine_->on_suspect(suspect); };
     fd_ = std::make_unique<core::HeartbeatFd>(options_.self,
@@ -77,6 +91,18 @@ TcpNode::~TcpNode() {
   if (event_fd_ >= 0) ::close(event_fd_);
   if (timer_fd_ >= 0) ::close(timer_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+TcpNetStats TcpNode::net_stats() const {
+  TcpNetStats s;
+  s.sendmsg_calls = net_.sendmsg_calls.load(std::memory_order_relaxed);
+  s.frames_sent = net_.frames_sent.load(std::memory_order_relaxed);
+  s.bytes_sent = net_.bytes_sent.load(std::memory_order_relaxed);
+  s.partial_writes = net_.partial_writes.load(std::memory_order_relaxed);
+  s.eagain_waits = net_.eagain_waits.load(std::memory_order_relaxed);
+  s.frames_received = net_.frames_received.load(std::memory_order_relaxed);
+  s.rbuf_compactions = net_.rbuf_compactions.load(std::memory_order_relaxed);
+  return s;
 }
 
 void TcpNode::setup_listener() {
@@ -105,6 +131,10 @@ void TcpNode::dial(NodeId peer) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   ALLCONCUR_ASSERT(fd >= 0, "socket() failed");
   set_nodelay(fd);
+  if (options_.sndbuf_bytes > 0) {
+    setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.sndbuf_bytes,
+               sizeof(options_.sndbuf_bytes));
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -119,16 +149,20 @@ void TcpNode::dial(NodeId peer) {
       conn.outbound = true;
       // Hello: announce who we are so the acceptor can map the link.
       const std::uint32_t hello = options_.self;
-      std::vector<std::uint8_t> bytes(4);
-      std::memcpy(bytes.data(), &hello, 4);
-      conn.wqueue.push_back(std::move(bytes));
+      conn.preamble.resize(4);
+      std::memcpy(conn.preamble.data(), &hello, 4);
       conns_[fd] = std::move(conn);
       out_by_peer_[peer] = fd;
       epoll_event ev{};
-      ev.events = EPOLLIN | EPOLLOUT;
+      ev.events = EPOLLIN;
       ev.data.fd = fd;
       epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
-      flush(conns_[fd]);
+      Conn& c = conns_[fd];
+      if (!flush(c)) {
+        close_conn(fd);
+      } else {
+        update_epoll(c);
+      }
       return;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
@@ -183,6 +217,7 @@ void TcpNode::run() {
   while (!stop_.load(std::memory_order_acquire)) {
     // Commands may have been queued before the eventfd existed.
     drain_commands();
+    flush_dirty();
     const int ready = epoll_wait(epoll_fd_, events, 64, 50);
     for (int i = 0; i < ready; ++i) {
       const int fd = events[i].data.fd;
@@ -209,6 +244,10 @@ void TcpNode::run() {
         }
       }
     }
+    // One coalesced flush per wake: everything the handlers above queued
+    // (relays, broadcasts, heartbeats) leaves in a single vectored write
+    // per peer instead of one syscall per message.
+    flush_dirty();
   }
 }
 
@@ -245,22 +284,27 @@ void TcpNode::on_readable(int fd) {
     } else if (got == 0) {
       close_conn(fd);  // peer closed — its FD heartbeats stop with it
       return;
+    } else if (errno == EINTR) {
+      continue;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      break;
     } else {
-      break;  // EAGAIN
+      close_conn(fd);  // hard error (ECONNRESET & co): the peer is gone
+      return;
     }
   }
   parse_frames(conn);
 }
 
 void TcpNode::parse_frames(Conn& conn) {
-  std::size_t at = 0;
+  std::size_t at = conn.rstart;
   // Inbound links start with the peer's 4-byte hello.
   if (conn.peer == kInvalidNode) {
-    if (conn.rbuf.size() < 4) return;
+    if (conn.rbuf.size() - at < 4) return;
     std::uint32_t hello;
-    std::memcpy(&hello, conn.rbuf.data(), 4);
+    std::memcpy(&hello, conn.rbuf.data() + at, 4);
     conn.peer = hello;
-    at = 4;
+    at += 4;
   }
   while (at < conn.rbuf.size()) {
     const auto frame = core::frame_size(
@@ -270,6 +314,7 @@ void TcpNode::parse_frames(Conn& conn) {
         core::decode(std::span(conn.rbuf.data() + at, *frame));
     at += *frame;
     if (!msg) continue;  // malformed frame: skip
+    net_.frames_received.fetch_add(1, std::memory_order_relaxed);
     if (msg->type == core::MsgType::kHeartbeat) {
       if (fd_) fd_->on_heartbeat(conn.peer, monotonic_now());
       continue;
@@ -277,46 +322,160 @@ void TcpNode::parse_frames(Conn& conn) {
     if (fd_) fd_->on_heartbeat(conn.peer, monotonic_now());  // traffic = alive
     engine_->on_message(conn.peer, *msg);
   }
-  conn.rbuf.erase(conn.rbuf.begin(),
-                  conn.rbuf.begin() + static_cast<std::ptrdiff_t>(at));
+  conn.rstart = at;
+  if (conn.rstart == conn.rbuf.size()) {
+    // Everything consumed — the common case: resetting is free, no memmove.
+    conn.rbuf.clear();
+    conn.rstart = 0;
+  } else if (conn.rstart >= kCompactAt &&
+             conn.rstart > conn.rbuf.size() - conn.rstart) {
+    // A large dead prefix outweighs the live tail: compact once.
+    conn.rbuf.erase(conn.rbuf.begin(),
+                    conn.rbuf.begin() + static_cast<std::ptrdiff_t>(conn.rstart));
+    conn.rstart = 0;
+    net_.rbuf_compactions.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
-void TcpNode::send_bytes(NodeId dst, std::vector<std::uint8_t> bytes) {
+void TcpNode::queue_frame(NodeId dst, const core::FrameRef& frame) {
   const auto it = out_by_peer_.find(dst);
   if (it == out_by_peer_.end()) return;  // peer gone (crashed / removed)
   const auto conn_it = conns_.find(it->second);
   if (conn_it == conns_.end()) return;
-  conn_it->second.wqueue.push_back(std::move(bytes));
-  flush(conn_it->second);
+  Conn& conn = conn_it->second;
+  conn.wqueue.push_back(frame);  // shared reference, no copy
+  if (!conn.flush_pending) {
+    conn.flush_pending = true;
+    dirty_fds_.push_back(conn.fd);
+  }
 }
 
-void TcpNode::flush(Conn& conn) {
-  while (!conn.wqueue.empty()) {
-    const auto& front = conn.wqueue.front();
-    const std::size_t remaining = front.size() - conn.wqueue_offset;
-    const ssize_t sent =
-        ::send(conn.fd, front.data() + conn.wqueue_offset, remaining,
-               MSG_NOSIGNAL);
-    if (sent < 0) break;  // EAGAIN: wait for EPOLLOUT
-    conn.wqueue_offset += static_cast<std::size_t>(sent);
-    if (conn.wqueue_offset == front.size()) {
-      conn.wqueue.pop_front();
-      conn.wqueue_offset = 0;
+void TcpNode::flush_dirty() {
+  // Swap out first: close_conn during the loop may mutate conns_.
+  if (dirty_fds_.empty()) return;
+  for (std::size_t i = 0; i < dirty_fds_.size(); ++i) {
+    const int fd = dirty_fds_[i];
+    const auto it = conns_.find(fd);
+    if (it == conns_.end()) continue;  // closed since queued
+    it->second.flush_pending = false;
+    if (!flush(it->second)) {
+      close_conn(fd);
+    } else {
+      update_epoll(it->second);
     }
   }
-  update_epoll(conn);
+  dirty_fds_.clear();
+}
+
+void TcpNode::advance_tx(Conn& conn, std::size_t sent) {
+  net_.bytes_sent.fetch_add(sent, std::memory_order_relaxed);
+  if (conn.preamble_sent < conn.preamble.size()) {
+    const std::size_t take =
+        std::min(sent, conn.preamble.size() - conn.preamble_sent);
+    conn.preamble_sent += take;
+    sent -= take;
+  }
+  while (sent > 0) {
+    const core::Frame& front = *conn.wqueue.front();
+    const std::size_t remaining = front.wire_size() - conn.wqueue_offset;
+    if (sent >= remaining) {
+      sent -= remaining;
+      conn.wqueue.pop_front();
+      conn.wqueue_offset = 0;
+      net_.frames_sent.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      conn.wqueue_offset += sent;
+      sent = 0;
+    }
+  }
+}
+
+bool TcpNode::flush(Conn& conn) {
+  while (conn.has_tx_backlog()) {
+    // Gather the backlog into one iovec batch: the hello preamble, then
+    // [header, payload] per queued frame, the front frame offset by what
+    // already left in a previous partial write.
+    iovec iov[kMaxIov];
+    std::size_t niov = 0;
+    std::size_t gathered = 0;
+    if (conn.preamble_sent < conn.preamble.size()) {
+      iov[niov].iov_base = conn.preamble.data() + conn.preamble_sent;
+      iov[niov].iov_len = conn.preamble.size() - conn.preamble_sent;
+      gathered += iov[niov].iov_len;
+      ++niov;
+    }
+    std::size_t skip = conn.wqueue_offset;
+    for (const core::FrameRef& f : conn.wqueue) {
+      if (niov + 2 > kMaxIov) break;
+      const auto header = f->header();
+      if (skip < header.size()) {
+        iov[niov].iov_base =
+            const_cast<std::uint8_t*>(header.data() + skip);
+        iov[niov].iov_len = header.size() - skip;
+        gathered += iov[niov].iov_len;
+        ++niov;
+        skip = 0;
+      } else {
+        skip -= header.size();
+      }
+      const core::Payload& payload = f->wire_payload();
+      if (payload && skip < payload->size()) {
+        iov[niov].iov_base =
+            const_cast<std::uint8_t*>(payload->data() + skip);
+        iov[niov].iov_len = payload->size() - skip;
+        gathered += iov[niov].iov_len;
+        ++niov;
+      }
+      skip = 0;  // only the front frame is partially sent
+    }
+
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = niov;
+    const ssize_t sent = ::sendmsg(conn.fd, &mh, MSG_NOSIGNAL);
+    net_.sendmsg_calls.fetch_add(1, std::memory_order_relaxed);
+    if (sent < 0) {
+      if (errno == EINTR) continue;  // interrupted: retry
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Kernel buffer full: park the backlog and wait for EPOLLOUT.
+        net_.eagain_waits.fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+      // Hard error (EPIPE, ECONNRESET, ...): the peer is dead — report it
+      // so the connection is torn down promptly instead of queueing into
+      // the void until the FD times out.
+      return false;
+    }
+    advance_tx(conn, static_cast<std::size_t>(sent));
+    if (static_cast<std::size_t>(sent) < gathered) {
+      // Short write: the kernel took what it could; a retry now would
+      // only earn an EAGAIN. Wait for EPOLLOUT.
+      net_.partial_writes.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    // Full batch accepted; loop only if the iovec cap left frames queued.
+  }
+  return true;
 }
 
 void TcpNode::update_epoll(Conn& conn) {
+  const bool want = conn.has_tx_backlog();
+  if (want == conn.want_writable) return;  // registration already right
+  conn.want_writable = want;
   epoll_event ev{};
-  ev.events = EPOLLIN | (conn.wqueue.empty() ? 0u : EPOLLOUT);
+  ev.events = EPOLLIN | (want ? EPOLLOUT : 0u);
   ev.data.fd = conn.fd;
   epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
 }
 
 void TcpNode::on_writable(int fd) {
   auto it = conns_.find(fd);
-  if (it != conns_.end()) flush(it->second);
+  if (it == conns_.end()) return;
+  if (!flush(it->second)) {
+    close_conn(fd);
+  } else {
+    update_epoll(it->second);
+  }
 }
 
 void TcpNode::close_conn(int fd) {

@@ -6,6 +6,14 @@
 // themselves with a 4-byte hello. Messages use the length-prefixed framing
 // of core::encode/decode.
 //
+// Wire path (zero-copy): the engine hands the transport refcounted
+// core::Frame objects — encoded once per message regardless of out-degree.
+// Each connection queues the shared frames and flushes them with one
+// vectored sendmsg per event-loop wake (iovec batching across queued
+// frames), so the relay fan-out costs neither per-destination copies nor
+// per-message syscalls. The receive side uses a consume-offset buffer that
+// compacts only when sparse, so steady-state parsing does no memmove.
+//
 // One TcpTransport serves one node and is single-threaded: all socket and
 // protocol work happens on the owning thread inside run()/poll_once().
 // Cross-thread control (submit, broadcast, stop) goes through an eventfd
@@ -35,6 +43,20 @@ struct TcpNodeOptions {
   core::HeartbeatFd::Params fd_params{.period = ms(25), .timeout = ms(250),
                                       .adaptive = false,
                                       .max_timeout = sec(10)};
+  /// SO_SNDBUF for outbound (successor) sockets; 0 keeps the OS default.
+  /// Tests shrink this to force partial vectored writes (backpressure).
+  int sndbuf_bytes = 0;
+};
+
+/// Wire-level transport counters (snapshot; safe to read from any thread).
+struct TcpNetStats {
+  std::uint64_t sendmsg_calls = 0;    ///< flush syscalls issued
+  std::uint64_t frames_sent = 0;      ///< frames fully transmitted
+  std::uint64_t bytes_sent = 0;       ///< payload+header bytes on the wire
+  std::uint64_t partial_writes = 0;   ///< short sendmsg (kernel backpressure)
+  std::uint64_t eagain_waits = 0;     ///< flushes parked on EPOLLOUT
+  std::uint64_t frames_received = 0;
+  std::uint64_t rbuf_compactions = 0; ///< receive-buffer memmoves
 };
 
 class TcpNode {
@@ -60,6 +82,7 @@ class TcpNode {
 
   NodeId self() const { return options_.self; }
   const core::EngineStats& stats() const { return engine_->stats(); }
+  TcpNetStats net_stats() const;
   Round rounds_completed() const {
     return completed_rounds_.load(std::memory_order_acquire);
   }
@@ -69,10 +92,23 @@ class TcpNode {
     int fd = -1;
     NodeId peer = kInvalidNode;
     bool outbound = false;
-    bool hello_sent = false;
+    // Receive side: consume-offset buffer. parse_frames advances `rstart`;
+    // the dead prefix is dropped wholesale once everything is consumed
+    // (free) and compacted (memmove) only when it dominates the buffer.
     std::vector<std::uint8_t> rbuf;
-    std::deque<std::vector<std::uint8_t>> wqueue;
-    std::size_t wqueue_offset = 0;  // into wqueue.front()
+    std::size_t rstart = 0;
+    // Transmit side: shared frames queued per connection, coalesced into
+    // one vectored sendmsg per event-loop wake.
+    std::vector<std::uint8_t> preamble;  ///< connection hello, sent first
+    std::size_t preamble_sent = 0;
+    std::deque<core::FrameRef> wqueue;
+    std::size_t wqueue_offset = 0;  ///< bytes of wqueue.front() already sent
+    bool want_writable = false;     ///< EPOLLOUT currently registered
+    bool flush_pending = false;     ///< queued for the end-of-wake flush
+
+    bool has_tx_backlog() const {
+      return preamble_sent < preamble.size() || !wqueue.empty();
+    }
   };
 
   void setup_listener();
@@ -82,8 +118,12 @@ class TcpNode {
   void on_readable(int fd);
   void on_writable(int fd);
   void parse_frames(Conn& conn);
-  void send_bytes(NodeId dst, std::vector<std::uint8_t> bytes);
-  void flush(Conn& conn);
+  void queue_frame(NodeId dst, const core::FrameRef& frame);
+  /// Vectored flush of everything queued; returns false on a hard socket
+  /// error (caller must close_conn).
+  bool flush(Conn& conn);
+  void flush_dirty();
+  void advance_tx(Conn& conn, std::size_t sent);
   void close_conn(int fd);
   void drain_commands();
   void update_epoll(Conn& conn);
@@ -100,6 +140,18 @@ class TcpNode {
   int timer_fd_ = -1;
   std::map<int, Conn> conns_;          // by socket fd
   std::map<NodeId, int> out_by_peer_;  // successor -> socket fd
+  std::vector<int> dirty_fds_;         // conns with frames queued this wake
+
+  // Wire counters; relaxed atomics so tests can snapshot while running.
+  struct {
+    std::atomic<std::uint64_t> sendmsg_calls{0};
+    std::atomic<std::uint64_t> frames_sent{0};
+    std::atomic<std::uint64_t> bytes_sent{0};
+    std::atomic<std::uint64_t> partial_writes{0};
+    std::atomic<std::uint64_t> eagain_waits{0};
+    std::atomic<std::uint64_t> frames_received{0};
+    std::atomic<std::uint64_t> rbuf_compactions{0};
+  } net_;
 
   std::mutex cmd_mutex_;
   std::deque<std::function<void()>> commands_;

@@ -59,6 +59,38 @@ TEST(Batch, UnpackRejectsBadKind) {
   EXPECT_FALSE(unpack_batch(make_payload(std::move(bytes))).has_value());
 }
 
+TEST(Batch, ScanMembershipFindsControlsWithoutUnpacking) {
+  const Payload p = pack_batch({Request::of_data({1, 2, 3}),
+                                Request::join(42), Request::of_data({}),
+                                Request::leave(7), Request::join(9)});
+  std::vector<std::pair<Request::Kind, NodeId>> seen;
+  ASSERT_TRUE(scan_membership(
+      p, [&](Request::Kind k, NodeId s) { seen.emplace_back(k, s); }));
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], std::make_pair(Request::Kind::kJoin, NodeId{42}));
+  EXPECT_EQ(seen[1], std::make_pair(Request::Kind::kLeave, NodeId{7}));
+  EXPECT_EQ(seen[2], std::make_pair(Request::Kind::kJoin, NodeId{9}));
+}
+
+TEST(Batch, ScanMembershipNullAndMalformed) {
+  std::size_t calls = 0;
+  const auto count = [&](Request::Kind, NodeId) { ++calls; };
+  EXPECT_TRUE(scan_membership(nullptr, count));
+  EXPECT_EQ(calls, 0u);
+
+  // Malformed bytes are rejected atomically: nothing is emitted even if a
+  // valid control entry precedes the damage.
+  auto bytes = *pack_batch({Request::join(5), Request::of_data({1, 2})});
+  bytes.pop_back();
+  EXPECT_FALSE(scan_membership(make_payload(std::move(bytes)), count));
+  EXPECT_EQ(calls, 0u);
+
+  auto bad_kind = *pack_batch({Request::join(5)});
+  bad_kind[0] = 9;
+  EXPECT_FALSE(scan_membership(make_payload(std::move(bad_kind)), count));
+  EXPECT_EQ(calls, 0u);
+}
+
 TEST(Batch, LargeBatchRoundTrip) {
   std::vector<Request> in;
   for (int i = 0; i < 1000; ++i) {

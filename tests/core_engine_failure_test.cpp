@@ -45,7 +45,7 @@ class Fig2bTest : public ::testing::Test {
   Fig2bTest() {
     std::vector<NodeId> members{0, 1, 2, 3, 4, 5, 6, 7, 8};
     Engine::Hooks hooks;
-    hooks.send = [](NodeId, const Message&) {};
+    hooks.send = [](NodeId, const core::FrameRef&) {};
     hooks.deliver = [this](const RoundResult& r) { results_.push_back(r); };
     engine_ = std::make_unique<Engine>(
         6, View(members, binomial_builder()), binomial_builder(), hooks);
@@ -261,7 +261,9 @@ TEST(EngineFailure, SuspectedPredecessorMessagesIgnored) {
   std::vector<NodeId> members{0, 1, 2, 3, 4, 5, 6, 7, 8};
   std::vector<std::pair<NodeId, Message>> sent;
   Engine::Hooks hooks;
-  hooks.send = [&](NodeId dst, const Message& m) { sent.emplace_back(dst, m); };
+  hooks.send = [&](NodeId dst, const FrameRef& f) {
+    sent.emplace_back(dst, f->msg());
+  };
   hooks.deliver = [](const RoundResult&) {};
   Engine p6(6, View(members, binomial_builder()), binomial_builder(), hooks);
 
@@ -280,7 +282,7 @@ TEST(EngineFailure, DuplicateFailNotificationsIgnored) {
   std::vector<NodeId> members{0, 1, 2, 3, 4, 5, 6, 7, 8};
   std::size_t sends = 0;
   Engine::Hooks hooks;
-  hooks.send = [&](NodeId, const Message&) { ++sends; };
+  hooks.send = [&](NodeId, const FrameRef&) { ++sends; };
   hooks.deliver = [](const RoundResult&) {};
   Engine p6(6, View(members, binomial_builder()), binomial_builder(), hooks);
 

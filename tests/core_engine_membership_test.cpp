@@ -116,7 +116,9 @@ TEST(Buffering, NextRoundMessagesReplayAfterTransition) {
   std::vector<std::pair<NodeId, Message>> sent;
   std::vector<RoundResult> delivered;
   Engine::Hooks hooks;
-  hooks.send = [&](NodeId dst, const Message& m) { sent.emplace_back(dst, m); };
+  hooks.send = [&](NodeId dst, const FrameRef& f) {
+    sent.emplace_back(dst, f->msg());
+  };
   hooks.deliver = [&](const RoundResult& r) { delivered.push_back(r); };
   Engine e(0, View(members, builder()), builder(), hooks);
 
@@ -142,7 +144,7 @@ TEST(Buffering, NextRoundMessagesReplayAfterTransition) {
 TEST(Drops, StaleAndFarFutureCounted) {
   std::vector<NodeId> members{0, 1, 2};
   Engine::Hooks hooks;
-  hooks.send = [](NodeId, const Message&) {};
+  hooks.send = [](NodeId, const core::FrameRef&) {};
   hooks.deliver = [](const RoundResult&) {};
   Engine e(0, View(members, builder()), builder(), hooks);
 
@@ -164,7 +166,7 @@ TEST(Drops, StaleAndFarFutureCounted) {
 TEST(Drops, ForeignOriginCounted) {
   std::vector<NodeId> members{0, 1, 2};
   Engine::Hooks hooks;
-  hooks.send = [](NodeId, const Message&) {};
+  hooks.send = [](NodeId, const core::FrameRef&) {};
   hooks.deliver = [](const RoundResult&) {};
   Engine e(0, View(members, builder()), builder(), hooks);
   const auto before = e.stats().dropped_foreign;
@@ -175,7 +177,7 @@ TEST(Drops, ForeignOriginCounted) {
 TEST(Drops, HeartbeatsNeverReachTheProtocol) {
   std::vector<NodeId> members{0, 1, 2};
   Engine::Hooks hooks;
-  hooks.send = [](NodeId, const Message&) {};
+  hooks.send = [](NodeId, const core::FrameRef&) {};
   hooks.deliver = [](const RoundResult&) {};
   Engine e(0, View(members, builder()), builder(), hooks);
   e.on_message(1, Message::heartbeat(1));
@@ -191,8 +193,8 @@ TEST(NonContiguousIds, EngineWorksOnSparseIdSpace) {
   std::map<NodeId, RoundResult> results;
   for (NodeId id : members) {
     Engine::Hooks hooks;
-    hooks.send = [&queue, id](NodeId dst, const Message& m) {
-      queue.emplace_back(id, dst, m);
+    hooks.send = [&queue, id](NodeId dst, const FrameRef& f) {
+      queue.emplace_back(id, dst, f->msg());
     };
     hooks.deliver = [&results, id](const RoundResult& r) { results[id] = r; };
     engines.push_back(std::make_unique<Engine>(id, View(members, builder()),

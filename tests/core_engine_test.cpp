@@ -186,6 +186,58 @@ TEST(Engine, BinomialOverlayWorksToo) {
   }
 }
 
+TEST(Engine, RelayIsEncodedOnceAndCountsActualSends) {
+  // n = 4 complete graph: out-degree 3 from every node.
+  std::vector<NodeId> members{0, 1, 2, 3};
+  std::vector<std::pair<NodeId, FrameRef>> sent;
+  Engine::Hooks hooks;
+  hooks.send = [&](NodeId dst, const FrameRef& f) {
+    sent.emplace_back(dst, f);
+  };
+  hooks.deliver = [](const RoundResult&) {};
+  const GraphBuilder complete = [](std::size_t n) {
+    return graph::make_complete(n);
+  };
+  Engine e(0, View(members, complete), complete, hooks);
+
+  const Payload inbound = make_payload({1, 2, 3});
+  e.on_message(1, Message::bcast(0, 1, inbound));
+
+  // Line 15 first A-broadcasts our own message (3 successors), then the
+  // relay goes to every successor except the inbound link (2 sends).
+  ASSERT_EQ(sent.size(), 5u);
+  // All sends of one message share the same frame object: encoded once
+  // per message regardless of out-degree.
+  EXPECT_EQ(sent[0].second.get(), sent[1].second.get());
+  EXPECT_EQ(sent[1].second.get(), sent[2].second.get());
+  EXPECT_EQ(sent[3].second.get(), sent[4].second.get());
+  EXPECT_NE(sent[2].second.get(), sent[3].second.get());
+  EXPECT_EQ(e.stats().frames_encoded, 2u);
+  // The relayed frame shares the inbound payload bytes: zero copies.
+  EXPECT_EQ(sent[3].second->msg().origin, 1u);
+  EXPECT_EQ(sent[3].second->wire_payload().get(), inbound.get());
+  // bcast_sent counts actual sends — 3 own + 2 relayed (the inbound link
+  // is skipped), not 2 * out-degree.
+  EXPECT_EQ(e.stats().bcast_sent, 5u);
+  for (std::size_t i = 3; i < sent.size(); ++i) {
+    EXPECT_NE(sent[i].first, 1u) << "relayed back on the inbound link";
+  }
+}
+
+TEST(Engine, FullRoundEncodesEachMessageOncePerNode) {
+  LoopbackCluster c(8, gs_builder(3));  // GS(8, 3): out-degree 3
+  for (NodeId i = 0; i < 8; ++i) c.engine(i).broadcast_now();
+  c.pump();
+  for (NodeId i = 0; i < 8; ++i) {
+    const auto& s = c.engine(i).stats();
+    // One frame per message this node emitted: its own broadcast plus one
+    // relay per peer message — n frames per failure-free round, while the
+    // sends fan out over the out-degree.
+    EXPECT_EQ(s.frames_encoded, 8u) << "node " << i;
+    EXPECT_GT(s.bcast_sent, s.frames_encoded) << "node " << i;
+  }
+}
+
 TEST(Engine, LargeDeploymentDelivers) {
   const std::size_t n = 90;
   LoopbackCluster c(n, gs_builder(5));

@@ -17,8 +17,8 @@ struct FdFixture {
 
   HeartbeatFd make(NodeId self, HeartbeatFd::Params params) {
     HeartbeatFd::Hooks hooks;
-    hooks.send = [this](NodeId dst, const Message& m) {
-      sent.emplace_back(dst, m);
+    hooks.send = [this](NodeId dst, const FrameRef& f) {
+      sent.emplace_back(dst, f->msg());
     };
     hooks.suspect = [this](NodeId s) { suspected.push_back(s); };
     return HeartbeatFd(self, params, hooks);

@@ -61,7 +61,7 @@ TEST(Fuzz, EngineSurvivesHostileMessageStream) {
   std::vector<NodeId> members{0, 1, 2, 3, 4};
   const auto builder = [](std::size_t n) { return graph::make_complete(n); };
   Engine::Hooks hooks;
-  hooks.send = [](NodeId, const Message&) {};
+  hooks.send = [](NodeId, const core::FrameRef&) {};
   std::size_t delivered = 0;
   hooks.deliver = [&](const RoundResult&) { ++delivered; };
   Engine e(0, View(members, builder), builder, hooks);
@@ -103,7 +103,7 @@ TEST(Fuzz, EngineSurvivesMalformedBatchPayloads) {
   std::vector<NodeId> members{0, 1, 2};
   const auto builder = [](std::size_t n) { return graph::make_complete(n); };
   Engine::Hooks hooks;
-  hooks.send = [](NodeId, const Message&) {};
+  hooks.send = [](NodeId, const core::FrameRef&) {};
   std::vector<RoundResult> results;
   hooks.deliver = [&](const RoundResult& r) { results.push_back(r); };
   Engine e(0, View(members, builder), builder, hooks);

@@ -1,5 +1,7 @@
 #include "core/message.hpp"
 
+#include <algorithm>
+
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
@@ -219,6 +221,67 @@ TEST(Message, FrameSize) {
   ASSERT_TRUE(f.has_value());
   EXPECT_EQ(*f, bytes.size());
   EXPECT_FALSE(frame_size(std::span(bytes.data(), 10)).has_value());
+}
+
+TEST(Frame, SharesPayloadWithZeroCopies) {
+  // The zero-copy invariant end to end: building the frame shares the
+  // message's payload, and borrow-decoding the frame shares it again —
+  // one buffer, three owners, no byte ever copied.
+  const Payload payload = make_payload({9, 8, 7, 6, 5});
+  EXPECT_EQ(payload.use_count(), 1);
+  const auto frame = Frame::make(Message::bcast(42, 17, payload));
+  EXPECT_EQ(frame->wire_payload().get(), payload.get());
+  EXPECT_EQ(payload.use_count(), 2);
+
+  const auto decoded = decode(*frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, MsgType::kBroadcast);
+  EXPECT_EQ(decoded->round, 42u);
+  EXPECT_EQ(decoded->origin, 17u);
+  EXPECT_EQ(decoded->payload_bytes, 5u);
+  EXPECT_EQ(decoded->payload.get(), payload.get());  // borrowed, not copied
+  EXPECT_EQ(payload.use_count(), 3);
+}
+
+TEST(Frame, WireImageMatchesEncode) {
+  // The scatter/gather blocks a transport writes must be byte-identical
+  // to the contiguous encoding, and parse back through the normal
+  // receive path.
+  const auto m = Message::bcast(7, 3, make_payload({1, 2, 3, 4, 5, 6}));
+  const auto frame = Frame::make(m);
+  EXPECT_EQ(frame->wire_size(), m.wire_size());
+  const auto contiguous = frame->to_bytes();
+  EXPECT_EQ(contiguous, encode(m));
+  const auto f = frame_size(contiguous);
+  ASSERT_TRUE(f.has_value());
+  EXPECT_EQ(*f, contiguous.size());
+  const auto decoded = decode(contiguous);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->payload != nullptr);
+  EXPECT_EQ(*decoded->payload, *m.payload);
+}
+
+TEST(Frame, SizeOnlyMaterializesLazily) {
+  const auto frame = Frame::make(Message::bcast_sized(1, 4, 64));
+  EXPECT_EQ(frame->msg().payload, nullptr);  // sim path: nothing built
+  EXPECT_EQ(frame->wire_size(), Message::kHeaderBytes + 64);
+  // The wire path materializes the declared zeros on demand, once.
+  const Payload& wire = frame->wire_payload();
+  ASSERT_TRUE(wire != nullptr);
+  EXPECT_EQ(wire->size(), 64u);
+  EXPECT_EQ(frame->wire_payload().get(), wire.get());
+  EXPECT_EQ(*std::max_element(wire->begin(), wire->end()), 0u);
+}
+
+TEST(Frame, HeaderlessMessagesHaveNullWirePayload) {
+  const auto frame = Frame::make(Message::fail(3, 1, 2));
+  EXPECT_EQ(frame->wire_payload(), nullptr);
+  EXPECT_EQ(frame->wire_size(), Message::kHeaderBytes);
+  const auto decoded = decode(*frame);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, MsgType::kFail);
+  EXPECT_EQ(decoded->origin, 1u);
+  EXPECT_EQ(decoded->detector, 2u);
 }
 
 }  // namespace

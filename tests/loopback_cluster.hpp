@@ -32,8 +32,8 @@ class LoopbackCluster {
     for (std::size_t i = 0; i < n; ++i) {
       const NodeId id = static_cast<NodeId>(i);
       Engine::Hooks hooks;
-      hooks.send = [this, id](NodeId dst, const Message& m) {
-        on_send(id, dst, m);
+      hooks.send = [this, id](NodeId dst, const core::FrameRef& frame) {
+        on_send(id, dst, frame->msg());
       };
       hooks.deliver = [this, id](const RoundResult& r) {
         delivered_[id].push_back(r);

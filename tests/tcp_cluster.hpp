@@ -18,8 +18,11 @@ namespace allconcur::testing {
 
 class TcpCluster {
  public:
+  /// `tweak` (optional) edits each node's options before construction —
+  /// e.g. shrinking sndbuf_bytes to force write backpressure.
   explicit TcpCluster(std::size_t n, core::FdMode fd_mode = core::FdMode::kPerfect,
-                      DurationNs fd_timeout = ms(250)) {
+                      DurationNs fd_timeout = ms(250),
+                      std::function<void(net::TcpNodeOptions&)> tweak = nullptr) {
     // Port block drawn from a deterministic RNG (so a given seed names a
     // given port layout) and mixed with the pid so parallel ctest
     // processes on one host don't collide.
@@ -37,6 +40,7 @@ class TcpCluster {
       opt.fd_mode = fd_mode;
       opt.fd_params.period = ms(25);
       opt.fd_params.timeout = fd_timeout;
+      if (tweak) tweak(opt);
       const NodeId id = static_cast<NodeId>(i);
       nodes_.push_back(std::make_unique<net::TcpNode>(
           opt, [this, id](const core::RoundResult& r) {
