@@ -6,7 +6,11 @@
 // rate approaches the agreement throughput, then rises and finally
 // destabilizes (unbounded batching); IBV sustains ~100M req/s/server at
 // n=8 in ~35us, TCP is ~3x slower.
+//
+//   $ ./fig8_request_rate --smoke --json=out.json
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "common/flags.hpp"
@@ -16,11 +20,25 @@ using namespace allconcur::bench;
 
 namespace {
 
-void run_series(const char* name, const sim::FabricParams& fabric,
-                const std::vector<std::int64_t>& sizes,
-                const std::vector<std::int64_t>& rates) {
+struct Cell {
+  std::int64_t n = 0;
+  std::int64_t rate = 0;
+  bool unstable = false;
+  double median_us = 0;
+};
+
+struct Series {
+  std::string name;
+  std::vector<Cell> cells;
+};
+
+Series run_series(const char* name, const sim::FabricParams& fabric,
+                  const std::vector<std::int64_t>& sizes,
+                  const std::vector<std::int64_t>& rates) {
   print_title(std::string("Fig. 8 (") + name +
               "): latency vs per-server request rate (64B)");
+  Series out;
+  out.name = name;
   std::printf("%12s", "rate[/s]");
   for (auto n : sizes) std::printf(" %9s%-3lld", "n=", (long long)n);
   std::printf("\n");
@@ -31,15 +49,22 @@ void run_series(const char* name, const sim::FabricParams& fabric,
           static_cast<std::size_t>(n), fabric, 64,
           static_cast<double>(rate), /*warmup=*/5, /*measured=*/20,
           /*deadline=*/sec(5));
+      Cell cell;
+      cell.n = n;
+      cell.rate = rate;
+      cell.unstable = r.unstable;
       if (r.unstable) {
         std::printf(" %12s", "unstable");
       } else {
-        std::printf(" %10.1fus", r.latency_us.median());
+        cell.median_us = r.latency_us.median();
+        std::printf(" %10.1fus", cell.median_us);
       }
+      out.cells.push_back(cell);
     }
     std::printf("\n");
     std::fflush(stdout);
   }
+  return out;
 }
 
 }  // namespace
@@ -54,9 +79,48 @@ int main(int argc, char** argv) {
       "rates", smoke ? std::vector<std::int64_t>{10, 10000, 10000000}
                      : std::vector<std::int64_t>{10, 100, 1000, 10000, 100000,
                                                  1000000, 10000000, 100000000});
-  run_series("IBV, IB-hsw", sim::FabricParams::infiniband(), sizes, rates);
-  run_series("TCP, IB-hsw", sim::FabricParams::tcp_ib(), sizes, rates);
+  std::vector<Series> series;
+  series.push_back(
+      run_series("ibv", sim::FabricParams::infiniband(), sizes, rates));
+  series.push_back(
+      run_series("tcp", sim::FabricParams::tcp_ib(), sizes, rates));
   print_note("paper anchors: IBV n=8 @ 100M req/s/server agrees in ~35us; "
              "n=64 @ 32k req/s/server in < 0.75ms; TCP ~3x higher.");
+
+  const std::string json_path = flags.get("json", "");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"fig8_request_rate\",\n"
+                 "  \"smoke\": %s,\n  \"series\": {",
+                 smoke ? "true" : "false");
+    for (std::size_t s = 0; s < series.size(); ++s) {
+      std::fprintf(f, "%s\n    \"%s\": [", s ? "," : "",
+                   series[s].name.c_str());
+      for (std::size_t i = 0; i < series[s].cells.size(); ++i) {
+        const Cell& c = series[s].cells[i];
+        // Unstable cells omit the latency field entirely: a 0.0 would
+        // read as a ~100% improvement to a baseline-diffing tool, while a
+        // vanished metric reads as the regression it is.
+        std::fprintf(f, "%s\n      {\"n\": %lld, \"rate_per_sec\": %lld, "
+                        "\"unstable\": %s",
+                     i ? "," : "", static_cast<long long>(c.n),
+                     static_cast<long long>(c.rate),
+                     c.unstable ? "true" : "false");
+        if (!c.unstable) {
+          std::fprintf(f, ", \"median_latency_us\": %.1f", c.median_us);
+        }
+        std::fprintf(f, "}");
+      }
+      std::fprintf(f, "\n    ]");
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    print_note("wrote " + json_path);
+  }
   return 0;
 }

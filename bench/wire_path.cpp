@@ -356,5 +356,17 @@ int main(int argc, char** argv) {
                  "a regression in the frame path)\n",
                  relay_last.speedup);
   }
+  // Steady-state heap churn is a hard budget, not a timing measurement:
+  // allocation counts are deterministic, so a regression here is real.
+  // PR 3 measured 24.2 allocs/round/node; the pooled round-state engine
+  // sits near 13 — fail loudly if a change regresses past the budget.
+  constexpr double kAllocBudget = 30.0;
+  if (rr.allocs_per_round_per_node > kAllocBudget) {
+    std::fprintf(stderr,
+                 "FAIL: %.1f allocs/round/node exceeds the %.1f budget "
+                 "(round-state pooling regressed)\n",
+                 rr.allocs_per_round_per_node, kAllocBudget);
+    return 1;
+  }
   return 0;
 }

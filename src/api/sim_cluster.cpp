@@ -17,8 +17,10 @@ using core::View;
 SimCluster::SimCluster(ClusterOptions options)
     : options_(std::move(options)),
       model_(options_.fabric, options_.n + options_.max_joins),
+      send_delay_(options_.n + options_.max_joins, 0),
       next_join_id_(static_cast<NodeId>(options_.n)) {
   ALLCONCUR_ASSERT(options_.n >= 1, "cluster needs at least one node");
+  ALLCONCUR_ASSERT(options_.window >= 1, "window must be at least 1");
   nodes_.resize(options_.n + options_.max_joins);
 
   std::vector<NodeId> members(options_.n);
@@ -48,6 +50,7 @@ void SimCluster::create_node(NodeId id, View view, Round start_round) {
   hooks.deliver = [this, id](const RoundResult& r) { handle_delivery(id, r); };
   Engine::Options eopts;
   eopts.fd_mode = options_.fd_mode;
+  eopts.window = options_.window;
   node->engine = std::make_unique<Engine>(id, std::move(view),
                                           options_.builder, hooks, eopts,
                                           start_round);
@@ -147,7 +150,8 @@ void SimCluster::handle_send(NodeId src, NodeId dst, const FrameRef& frame) {
   // refcounted handle travels through the event queue.
   const TimeNs done =
       model_.sender_done(src, dst, frame->wire_size(), sim_.now());
-  const TimeNs arrive = model_.arrival(done);
+  // Induced per-node skew: a slow sender's traffic arrives late.
+  const TimeNs arrive = model_.arrival(done) + send_delay_[src];
   sim_.schedule_at(arrive, [this, src, dst, frame] {
     const TimeNs handed =
         model_.receiver_done(dst, frame->wire_size(), sim_.now());
@@ -266,6 +270,12 @@ void SimCluster::crash_after_sends(NodeId id, TimeNs when,
   });
 }
 
+void SimCluster::set_send_delay(NodeId id, DurationNs extra) {
+  ALLCONCUR_ASSERT(id < send_delay_.size(), "node id beyond reserved slots");
+  ALLCONCUR_ASSERT(extra >= 0, "send delay must be non-negative");
+  send_delay_[id] = extra;
+}
+
 void SimCluster::set_link_filter(
     std::function<bool(NodeId, NodeId)> drop) {
   link_filter_ = std::move(drop);
@@ -333,6 +343,7 @@ core::EngineStats SimCluster::aggregate_stats() const {
     total.dropped_suspected += s.dropped_suspected;
     total.dropped_foreign += s.dropped_foreign;
     total.dropped_lost += s.dropped_lost;
+    total.dropped_ahead += s.dropped_ahead;
     total.rounds_completed += s.rounds_completed;
   }
   return total;

@@ -26,6 +26,11 @@ struct ClusterOptions {
   sim::FabricParams fabric = sim::FabricParams::tcp_ib();
   core::FdMode fd_mode = core::FdMode::kPerfect;
 
+  /// Round-pipelining window W handed to every engine: rounds
+  /// [delivered+1, delivered+W] run concurrently (1 = classic
+  /// stop-and-wait iteration).
+  std::size_t window = 1;
+
   /// false: a perfect oracle notifies live successors `detection_delay`
   /// after a crash (the paper's evaluation setup: "all the experiments
   /// assume a perfect FD"). true: real heartbeat traffic through the
@@ -87,6 +92,12 @@ class SimCluster {
   /// (returned immediately); the node activates once the join commits.
   NodeId schedule_join(TimeNs when, NodeId sponsor);
 
+  /// Induced per-node skew: every message sent by `id` (protocol and
+  /// heartbeats alike) arrives `extra` later than the fabric model says —
+  /// a slow or distant server. 0 clears. This is the knob the round-
+  /// pipelining bench uses to create the convoy effect a window hides.
+  void set_send_delay(NodeId id, DurationNs extra);
+
   /// Link-level fault injection (§3.3.1: partitions remove edges, not
   /// vertices): messages for which `drop(src, dst)` returns true are lost.
   /// Pass nullptr to heal. With the heartbeat FD enabled, suspicions arise
@@ -136,6 +147,7 @@ class SimCluster {
   sim::Simulator sim_;
   sim::NetworkModel model_;
   std::vector<std::unique_ptr<Node>> nodes_;  // indexed by NodeId
+  std::vector<DurationNs> send_delay_;        // induced skew, by NodeId
   NodeId next_join_id_;
 };
 

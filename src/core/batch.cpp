@@ -29,7 +29,7 @@ Request Request::leave(NodeId subject) {
 Payload pack_batch(const std::vector<Request>& requests) {
   if (requests.empty()) return nullptr;
   std::size_t total = 0;
-  for (const Request& r : requests) total += 9 + r.data.size();
+  for (const Request& r : requests) total += kRequestHeaderBytes + r.data.size();
   std::vector<std::uint8_t> out(total);
   std::size_t at = 0;
   for (const Request& r : requests) {
@@ -40,9 +40,10 @@ Payload pack_batch(const std::vector<Request>& requests) {
     std::memcpy(out.data() + at + 5, &len, 4);
     // Guard empty requests: memcpy from a null data() is UB even for 0.
     if (!r.data.empty()) {
-      std::memcpy(out.data() + at + 9, r.data.data(), r.data.size());
+      std::memcpy(out.data() + at + kRequestHeaderBytes, r.data.data(),
+                  r.data.size());
     }
-    at += 9 + r.data.size();
+    at += kRequestHeaderBytes + r.data.size();
   }
   return make_payload(std::move(out));
 }
@@ -55,11 +56,11 @@ bool scan_membership(
   // Validate the whole structure before emitting anything, so a malformed
   // batch is rejected atomically (same contract as unpack_batch).
   for (std::size_t at = 0; at < bytes.size();) {
-    if (at + 9 > bytes.size() || bytes[at] > 2) return false;
+    if (at + kRequestHeaderBytes > bytes.size() || bytes[at] > 2) return false;
     std::uint32_t len;
     std::memcpy(&len, bytes.data() + at + 5, 4);
-    if (at + 9 + len > bytes.size()) return false;
-    at += 9 + len;
+    if (at + kRequestHeaderBytes + len > bytes.size()) return false;
+    at += kRequestHeaderBytes + len;
   }
   for (std::size_t at = 0; at < bytes.size();) {
     const auto kind = static_cast<Request::Kind>(bytes[at]);
@@ -67,7 +68,7 @@ bool scan_membership(
     std::memcpy(&subject, bytes.data() + at + 1, 4);
     std::memcpy(&len, bytes.data() + at + 5, 4);
     if (kind != Request::Kind::kData) fn(kind, subject);
-    at += 9 + len;
+    at += kRequestHeaderBytes + len;
   }
   return true;
 }
@@ -78,7 +79,7 @@ std::optional<std::vector<Request>> unpack_batch(const Payload& payload) {
   const auto& bytes = *payload;
   std::size_t at = 0;
   while (at < bytes.size()) {
-    if (at + 9 > bytes.size()) return std::nullopt;
+    if (at + kRequestHeaderBytes > bytes.size()) return std::nullopt;
     Request r;
     if (bytes[at] > 2) return std::nullopt;
     r.kind = static_cast<Request::Kind>(bytes[at]);
@@ -86,11 +87,13 @@ std::optional<std::vector<Request>> unpack_batch(const Payload& payload) {
     std::memcpy(&subject, bytes.data() + at + 1, 4);
     std::memcpy(&len, bytes.data() + at + 5, 4);
     r.subject = subject;
-    if (at + 9 + len > bytes.size()) return std::nullopt;
-    r.data.assign(bytes.begin() + static_cast<std::ptrdiff_t>(at + 9),
-                  bytes.begin() + static_cast<std::ptrdiff_t>(at + 9 + len));
+    if (at + kRequestHeaderBytes + len > bytes.size()) return std::nullopt;
+    r.data.assign(
+        bytes.begin() + static_cast<std::ptrdiff_t>(at + kRequestHeaderBytes),
+        bytes.begin() +
+            static_cast<std::ptrdiff_t>(at + kRequestHeaderBytes + len));
     out.push_back(std::move(r));
-    at += 9 + len;
+    at += kRequestHeaderBytes + len;
   }
   return out;
 }

@@ -33,6 +33,11 @@ struct Request {
   static Request leave(NodeId subject);
 };
 
+/// Per-request framing overhead of the batch wire layout
+/// ([u8 kind][u32 subject][u32 len] before the data bytes) — shared by the
+/// codec below and by Engine::pending_bytes' backlog accounting.
+inline constexpr std::size_t kRequestHeaderBytes = 9;
+
 /// Serializes requests into one payload. Empty input yields a null payload
 /// (the paper's "empty message").
 Payload pack_batch(const std::vector<Request>& requests);

@@ -6,21 +6,23 @@
 
 namespace allconcur::core {
 
-// Adapter exposing the engine's failure knowledge (F_i) to the tracking
-// digraphs in rank space.
+// Adapter exposing one round's failure knowledge (F_i) to the tracking
+// digraphs in rank space. F_i is per round: a notification tagged with
+// round r applies to r and later rounds, never to earlier open ones.
 class Engine::Knowledge final : public FailureKnowledge {
  public:
-  explicit Knowledge(const Engine& e) : e_(e) {}
+  Knowledge(const Engine& e, const RoundState& st) : e_(e), st_(st) {}
   bool is_failed(NodeId rank) const override {
-    return e_.failed_rank_[rank];
+    return st_.failed_rank[rank];
   }
   bool has_pair(NodeId rank_j, NodeId rank_k) const override {
-    return e_.fails_.count({e_.view_->member(rank_j),
+    return st_.fails.count({e_.view_->member(rank_j),
                             e_.view_->member(rank_k)}) > 0;
   }
 
  private:
   const Engine& e_;
+  const RoundState& st_;
 };
 
 Engine::Engine(NodeId self, View view, GraphBuilder builder, Hooks hooks,
@@ -29,15 +31,42 @@ Engine::Engine(NodeId self, View view, GraphBuilder builder, Hooks hooks,
       builder_(std::move(builder)),
       hooks_(std::move(hooks)),
       options_(options),
-      round_(start_round),
+      base_round_(start_round),
       view_(std::make_shared<const View>(std::move(view))) {
   ALLCONCUR_ASSERT(hooks_.send && hooks_.deliver, "engine hooks required");
   ALLCONCUR_ASSERT(view_->contains(self_), "self must be a view member");
-  start_round_state();
+  ALLCONCUR_ASSERT(options_.window >= 1, "window must be at least 1");
+  suspected_rank_.assign(view_->size(), false);
+  refill_window();
 }
 
-void Engine::start_round_state() {
+Round Engine::max_open_round() const {
+  const Round window_max = base_round_ + options_.window - 1;
+  // A pending membership change caps the window: no round beyond the
+  // epoch close may open under the old view.
+  if (epoch_close_ && *epoch_close_ < window_max) return *epoch_close_;
+  return window_max;
+}
+
+Engine::RoundState* Engine::find_round(Round r) {
+  if (r < base_round_ || r >= base_round_ + window_.size()) return nullptr;
+  return window_[static_cast<std::size_t>(r - base_round_)].get();
+}
+
+void Engine::refill_window() {
+  while (base_round_ + window_.size() <= max_open_round()) {
+    open_round();
+  }
+}
+
+void Engine::open_round() {
+  const Round r =
+      window_.empty() ? base_round_ : window_.back()->round + 1;
   const std::size_t n = view_->size();
+  // Failure notifications carry forward (line 12): within an epoch the new
+  // round inherits its predecessor's F_i; the first round after a view
+  // switch (empty window) seeds from the carried, membership-filtered set.
+  const RoundState* prev = window_.empty() ? nullptr : window_.back().get();
 
   // Failure-free fast path: the common round keeps the same view, so the
   // rank and neighbor lists survive; only a membership change recomputes
@@ -54,43 +83,83 @@ void Engine::start_round_state() {
     neighbors_view_ = view_.get();
   }
 
-  msgs_.assign(n, nullptr);
-  msg_bytes_.assign(n, 0);
-  have_.assign(n, false);
-  own_broadcast_ = false;
-  if (tracking_.size() > n) {
+  std::unique_ptr<RoundState> st;
+  if (!pool_.empty()) {
+    st = std::move(pool_.back());
+    pool_.pop_back();
+  } else {
+    st = std::make_unique<RoundState>();
+  }
+  st->round = r;
+  st->msgs.assign(n, nullptr);
+  st->msg_bytes.assign(n, 0);
+  st->have.assign(n, false);
+  st->own_broadcast = false;
+  if (st->tracking.size() > n) {
     // View shrank: park the spare digraphs (with their capacity) on the
     // free-list instead of destroying them.
-    std::move(tracking_.begin() + static_cast<std::ptrdiff_t>(n),
-              tracking_.end(), std::back_inserter(tracking_spares_));
-    tracking_.resize(n);
+    std::move(st->tracking.begin() + static_cast<std::ptrdiff_t>(n),
+              st->tracking.end(), std::back_inserter(tracking_spares_));
+    st->tracking.resize(n);
   }
-  while (tracking_.size() < n) {
+  while (st->tracking.size() < n) {
     if (!tracking_spares_.empty()) {
-      tracking_.push_back(std::move(tracking_spares_.back()));
+      st->tracking.push_back(std::move(tracking_spares_.back()));
       tracking_spares_.pop_back();
     } else {
-      tracking_.emplace_back();
+      st->tracking.emplace_back();
     }
   }
-  for (std::size_t r = 0; r < n; ++r) {
-    if (r == self_rank_) {
-      tracking_[r].reset_empty();
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    if (rank == self_rank_) {
+      st->tracking[rank].reset_empty();
     } else {
-      tracking_[r].reset(static_cast<NodeId>(r));
+      st->tracking[rank].reset(static_cast<NodeId>(rank));
     }
   }
-  active_tracking_ = n > 0 ? n - 1 : 0;
-  failed_rank_.assign(n, false);
-  suspected_rank_.assign(n, false);
-  lost_.assign(n, false);
-  decided_ = false;
-  fwd_seen_.assign(n, false);
-  bwd_seen_.assign(n, false);
-  fwd_count_ = bwd_count_ = 0;
+  st->active_tracking = n > 0 ? n - 1 : 0;
+  st->fails.clear();
+  st->failed_rank.assign(n, false);
+  st->lost.assign(n, false);
+  st->decided = false;
+  st->fwd_seen.assign(n, false);
+  st->bwd_seen.assign(n, false);
+  st->fwd_count = st->bwd_count = 0;
+  st->complete = false;
+  window_.push_back(std::move(st));
+
+  // Carry the inherited failure notifications into the fresh round
+  // (Algorithm 1 lines 12-13): re-disseminate each pair under the new
+  // round's tag and replay it against the new tracking digraphs, one at a
+  // time exactly like the classic per-round transition, so servers that
+  // failed in an earlier round resolve here too (and joiners hear about
+  // them).
+  const std::set<std::pair<NodeId, NodeId>>& seed =
+      prev ? prev->fails : carry_fails_;
+  if (!seed.empty()) {
+    RoundState& ref = *window_.back();
+    for (const auto& [j, k] : seed) {
+      const auto rank_j = view_->rank_of(j);
+      ALLCONCUR_ASSERT(rank_j.has_value(), "carried failure left the view");
+      ref.fails.insert({j, k});
+      ref.failed_rank[*rank_j] = true;
+      stats_.fail_sent += send_to_successors(Message::fail(r, j, k));
+      const auto rank_k = view_->rank_of(k);
+      apply_failure_to_round(
+          ref, *rank_j, rank_k ? static_cast<NodeId>(*rank_k) : kInvalidNode);
+    }
+  }
+}
+
+void Engine::recycle(std::unique_ptr<RoundState> st) {
+  // Drop the payload references now — a parked state must not pin message
+  // buffers until its next reuse. Capacity is retained.
+  st->msgs.assign(st->msgs.size(), nullptr);
+  pool_.push_back(std::move(st));
 }
 
 void Engine::submit(Request request) {
+  pending_request_bytes_ += kRequestHeaderBytes + request.data.size();
   pending_.push_back(std::move(request));
 }
 
@@ -98,19 +167,60 @@ void Engine::submit_opaque(std::size_t bytes) {
   pending_opaque_bytes_ += bytes;
 }
 
-void Engine::broadcast_now() {
-  if (departed_ || own_broadcast_) return;
-  do_broadcast();
-  check_termination();
+std::uint64_t Engine::pending_bytes() const {
+  return pending_request_bytes_ + pending_opaque_bytes_;
 }
 
-void Engine::do_broadcast() {
-  ALLCONCUR_ASSERT(!own_broadcast_, "already broadcast this round");
+bool Engine::has_broadcast() const {
+  return !window_.empty() && window_.front()->own_broadcast;
+}
+
+std::optional<Round> Engine::next_broadcast_round() const {
+  for (const auto& st : window_) {
+    if (!st->own_broadcast) return st->round;
+  }
+  return std::nullopt;
+}
+
+std::size_t Engine::active_tracking() const {
+  ALLCONCUR_ASSERT(!window_.empty(), "no open round");
+  return window_.front()->active_tracking;
+}
+
+const TrackingDigraph& Engine::tracking_of(std::size_t rank) const {
+  ALLCONCUR_ASSERT(!window_.empty(), "no open round");
+  return window_.front()->tracking[rank];
+}
+
+void Engine::broadcast_now() {
+  if (departed_) return;
+  RoundState* target = nullptr;
+  for (auto& st : window_) {
+    if (!st->own_broadcast) {
+      target = st.get();
+      break;
+    }
+  }
+  // The in-progress round broadcasts even empty (round progress); later
+  // window rounds are opened speculatively only for actual payload, so
+  // idle nudging cannot spin the pipeline on empty rounds. When every
+  // open round already carries our message, submissions keep pending
+  // (see pending_bytes() — the backpressure signal).
+  if (target != nullptr &&
+      (target->round == base_round_ || !pending_.empty() ||
+       pending_opaque_bytes_ > 0)) {
+    do_broadcast(*target);
+  }
+  deliver_ready();
+}
+
+void Engine::do_broadcast(RoundState& st) {
+  ALLCONCUR_ASSERT(!st.own_broadcast, "already broadcast this round");
   Message msg;
   if (pending_opaque_bytes_ > 0 && pending_.empty()) {
-    msg = Message::bcast_sized(round_, self_, pending_opaque_bytes_);
+    msg = Message::bcast_sized(st.round, self_, pending_opaque_bytes_);
   } else {
-    msg = Message::bcast(round_, self_, pack_batch(pending_));
+    msg = Message::bcast(st.round, self_, pack_batch(pending_));
     // Size-only load can ride along with structured requests: the declared
     // size grows, the fabric charges for the bytes, nothing is
     // materialized. (Simulation-only: the TCP encoder requires the payload
@@ -119,11 +229,20 @@ void Engine::do_broadcast() {
     pending_.clear();
   }
   pending_opaque_bytes_ = 0;
-  own_broadcast_ = true;
-  msgs_[self_rank_] = msg.payload;
-  msg_bytes_[self_rank_] = msg.payload_bytes;
-  have_[self_rank_] = true;
+  pending_request_bytes_ = 0;
+  st.own_broadcast = true;
+  st.msgs[self_rank_] = msg.payload;
+  st.msg_bytes[self_rank_] = msg.payload_bytes;
+  st.have[self_rank_] = true;
   stats_.bcast_sent += send_to_successors(msg);
+  check_termination(st);
+}
+
+void Engine::ensure_broadcast_up_to(Round r) {
+  for (auto& st : window_) {
+    if (st->round > r) break;
+    if (!st->own_broadcast) do_broadcast(*st);
+  }
 }
 
 std::size_t Engine::fan_out(const std::vector<NodeId>& dsts,
@@ -157,35 +276,72 @@ void Engine::on_message(NodeId from, const Message& msg) {
   if (departed_) return;
   if (msg.type == MsgType::kHeartbeat) return;  // FD traffic, not ours
 
-  if (msg.round < round_) {
+  if (msg.type == MsgType::kFail) {
+    // A ⟨FAIL⟩ tagged with round r is valid for r and every later round
+    // (suspicion persists forward): a stale tag clamps to the current
+    // window instead of being dropped — no information is lost — while a
+    // tag beyond the window parks like any other future traffic.
+    if (msg.round > base_round_ + window_.size() - 1) {
+      park_future(from, msg);
+      return;
+    }
+    handle_fail(msg);
+    deliver_ready();
+    return;
+  }
+
+  if (msg.round < base_round_) {
     ++stats_.dropped_stale;
     return;
   }
-  if (msg.round > round_) {
-    // Peers can run at most one round ahead (they cannot finish R+1
-    // without our R+1 message); farther-future traffic means we were
-    // evicted — drop it, the harness decides on rejoin.
-    if (msg.round == round_ + 1) next_round_buffer_.emplace_back(from, msg);
+  RoundState* st = find_round(msg.round);
+  if (st == nullptr) {
+    park_future(from, msg);
     return;
   }
 
   switch (msg.type) {
     case MsgType::kBroadcast:
-      handle_bcast(from, msg);
-      break;
-    case MsgType::kFail:
-      handle_fail(msg);
+      handle_bcast(from, msg, *st);
       break;
     case MsgType::kFwd:
     case MsgType::kBwd:
-      handle_fwdbwd(from, msg);
+      handle_fwdbwd(from, msg, *st);
       break;
+    case MsgType::kFail:
     case MsgType::kHeartbeat:
       break;
   }
+  deliver_ready();
 }
 
-void Engine::handle_bcast(NodeId from, const Message& msg) {
+void Engine::park_future(NodeId from, const Message& msg) {
+  // Beyond the window. A live peer can legitimately be up to W rounds
+  // ahead of our delivered frontier and broadcast W more, so anything up
+  // to base+2W-1 is parked for replay once the window advances (replays
+  // that park again are not recounted). Farther-future traffic means we
+  // were evicted — drop it, the harness decides on rejoin.
+  if (!replaying_ && msg.round >= base_round_ + options_.window) {
+    ++stats_.dropped_ahead;
+  }
+  if (msg.round < base_round_ + 2 * options_.window) {
+    future_.emplace_back(from, msg);
+  }
+}
+
+void Engine::replay_parked() {
+  if (future_.empty()) return;
+  std::deque<std::pair<NodeId, Message>> parked;
+  parked.swap(future_);
+  const bool was_replaying = replaying_;
+  replaying_ = true;
+  for (const auto& [from, msg] : parked) {
+    on_message(from, msg);
+  }
+  replaying_ = was_replaying;
+}
+
+void Engine::handle_bcast(NodeId from, const Message& msg, RoundState& st) {
   ++stats_.bcast_received;
   const auto from_rank = view_->rank_of(from);
   if (from_rank && suspected_rank_[*from_rank]) {
@@ -202,12 +358,13 @@ void Engine::handle_bcast(NodeId from, const Message& msg) {
   }
 
   // Algorithm 1 line 15: A-broadcast our own message at the latest upon
-  // receiving someone else's.
-  if (!own_broadcast_) do_broadcast();
+  // receiving someone else's — in every round up to the message's (our
+  // broadcasts stay in round order).
+  ensure_broadcast_up_to(st.round);
 
-  if (have_[*origin_rank]) return;  // duplicate: already relayed it
+  if (st.have[*origin_rank]) return;  // duplicate: already relayed it
 
-  if (lost_[*origin_rank] || decided_) {
+  if (st.lost[*origin_rank] || st.decided) {
     // ⋄P only (cannot happen with an accurate FD, see tests): the message
     // set was already fixed without m_origin — adding it now would break
     // the FWD/BWD set inferences. Count and drop.
@@ -215,9 +372,9 @@ void Engine::handle_bcast(NodeId from, const Message& msg) {
     return;
   }
 
-  have_[*origin_rank] = true;
-  msgs_[*origin_rank] = msg.payload;
-  msg_bytes_[*origin_rank] = msg.payload_bytes;
+  st.have[*origin_rank] = true;
+  st.msgs[*origin_rank] = msg.payload;
+  st.msg_bytes[*origin_rank] = msg.payload_bytes;
 
   // Line 17-18: relay to our successors (skipping the link it came from —
   // that peer evidently has it). Counts actual sends: the skipped inbound
@@ -225,44 +382,35 @@ void Engine::handle_bcast(NodeId from, const Message& msg) {
   stats_.bcast_sent += send_to_successors(msg, from);
 
   // Line 19: m_origin is here, stop tracking it.
-  if (!tracking_[*origin_rank].empty()) {
-    tracking_[*origin_rank].clear();
-    ALLCONCUR_ASSERT(active_tracking_ > 0, "tracking count underflow");
-    --active_tracking_;
+  if (!st.tracking[*origin_rank].empty()) {
+    st.tracking[*origin_rank].clear();
+    ALLCONCUR_ASSERT(st.active_tracking > 0, "tracking count underflow");
+    --st.active_tracking;
   }
-  check_termination();
+  check_termination(st);
 }
 
 void Engine::handle_fail(const Message& msg) {
   ++stats_.fail_received;
-  process_failure_pair(msg.origin, msg.detector, /*disseminate=*/true);
-  check_termination();
+  learn_failure(msg.origin, msg.detector, msg.round, /*disseminate=*/true);
 }
 
 void Engine::on_suspect(NodeId suspect) {
   if (departed_) return;
   if (!view_->contains(suspect)) return;  // not (or no longer) a member
-  process_failure_pair(suspect, self_, /*disseminate=*/true);
-  check_termination();
+  // A suspicion raised now covers every currently open round.
+  learn_failure(suspect, self_, base_round_, /*disseminate=*/true);
+  deliver_ready();
 }
 
-void Engine::process_failure_pair(NodeId global_j, NodeId global_k,
-                                  bool disseminate) {
+void Engine::learn_failure(NodeId global_j, NodeId global_k, Round from_round,
+                           bool disseminate) {
   const auto rank_j = view_->rank_of(global_j);
   if (!rank_j) {
     ++stats_.dropped_foreign;
     return;
   }
-  if (!fails_.insert({global_j, global_k}).second) return;  // duplicate
-  failed_rank_[*rank_j] = true;
   if (global_k == self_) suspected_rank_[*rank_j] = true;
-
-  if (disseminate) {
-    // Line 22: R-broadcast the notification onward (fail_sent counts
-    // actual sends, not the nominal out-degree).
-    stats_.fail_sent +=
-        send_to_successors(Message::fail(round_, global_j, global_k));
-  }
 
   // The detector may have left the membership between rounds; its
   // non-receipt information is then moot (it is not a successor in the
@@ -271,20 +419,38 @@ void Engine::process_failure_pair(NodeId global_j, NodeId global_k,
   const NodeId k_or_sentinel =
       rank_k ? static_cast<NodeId>(*rank_k) : kInvalidNode;
 
-  // Lines 24-41: update every tracking digraph that contains p_j.
-  const Knowledge fk(*this);
-  for (std::size_t r = 0; r < tracking_.size(); ++r) {
-    if (tracking_[r].empty()) continue;
-    if (tracking_[r].on_failure(static_cast<NodeId>(*rank_j), k_or_sentinel,
-                                view_->overlay(), fk)) {
-      ALLCONCUR_ASSERT(active_tracking_ > 0, "tracking count underflow");
-      --active_tracking_;
-      lost_[r] = true;  // pruned to empty: m_r is lost, not received
+  for (auto& st : window_) {
+    if (st->round < from_round) continue;  // never applies backward
+    if (!st->fails.insert({global_j, global_k}).second) continue;  // dup
+    st->failed_rank[*rank_j] = true;
+    if (disseminate) {
+      // Line 22: R-broadcast the notification onward, tagged with each
+      // round that learned it (every round needs its own failure stream;
+      // fail_sent counts actual sends, not the nominal out-degree).
+      stats_.fail_sent +=
+          send_to_successors(Message::fail(st->round, global_j, global_k));
     }
+    apply_failure_to_round(*st, *rank_j, k_or_sentinel);
   }
 }
 
-void Engine::handle_fwdbwd(NodeId from, const Message& msg) {
+void Engine::apply_failure_to_round(RoundState& st, std::size_t rank_j,
+                                    NodeId k_rank_or_sentinel) {
+  // Lines 24-41: update every tracking digraph that contains p_j.
+  const Knowledge fk(*this, st);
+  for (std::size_t r = 0; r < st.tracking.size(); ++r) {
+    if (st.tracking[r].empty()) continue;
+    if (st.tracking[r].on_failure(static_cast<NodeId>(rank_j),
+                                  k_rank_or_sentinel, view_->overlay(), fk)) {
+      ALLCONCUR_ASSERT(st.active_tracking > 0, "tracking count underflow");
+      --st.active_tracking;
+      st.lost[r] = true;  // pruned to empty: m_r is lost, not received
+    }
+  }
+  check_termination(st);
+}
+
+void Engine::handle_fwdbwd(NodeId from, const Message& msg, RoundState& st) {
   ++stats_.fwd_bwd_received;
   if (options_.fd_mode != FdMode::kEventuallyPerfect) return;
   const auto from_rank = view_->rank_of(from);
@@ -298,128 +464,176 @@ void Engine::handle_fwdbwd(NodeId from, const Message& msg) {
     return;
   }
   if (msg.type == MsgType::kFwd) {
-    if (fwd_seen_[*origin_rank]) return;
-    fwd_seen_[*origin_rank] = true;
-    if (msg.origin != self_) ++fwd_count_;
+    if (st.fwd_seen[*origin_rank]) return;
+    st.fwd_seen[*origin_rank] = true;
+    if (msg.origin != self_) ++st.fwd_count;
     send_to_successors(msg, from);
   } else {
-    if (bwd_seen_[*origin_rank]) return;
-    bwd_seen_[*origin_rank] = true;
-    if (msg.origin != self_) ++bwd_count_;
+    if (st.bwd_seen[*origin_rank]) return;
+    st.bwd_seen[*origin_rank] = true;
+    if (msg.origin != self_) ++st.bwd_count;
     // ⟨BWD⟩ travels on the transpose of G.
     send_to_predecessors(msg, from);
   }
   ++stats_.fwd_bwd_sent;
-  check_termination();
+  check_termination(st);
 }
 
-void Engine::check_termination() {
-  if (departed_) return;
-  if (!own_broadcast_) return;
-  if (active_tracking_ != 0) return;
+void Engine::check_termination(RoundState& st) {
+  if (departed_ || st.complete) return;
+  if (!st.own_broadcast) return;
+  if (st.active_tracking != 0) return;
 
   if (options_.fd_mode == FdMode::kEventuallyPerfect) {
-    if (!decided_) {
+    if (!st.decided) {
       // §3.3.2: the message set M_i is decided; announce it forward along
       // G and backward along G's transpose (Kosaraju-style probes).
-      decided_ = true;
-      fwd_seen_[self_rank_] = true;
-      bwd_seen_[self_rank_] = true;
-      send_to_successors(Message::fwd(round_, self_));
-      send_to_predecessors(Message::bwd(round_, self_));
+      st.decided = true;
+      st.fwd_seen[self_rank_] = true;
+      st.bwd_seen[self_rank_] = true;
+      send_to_successors(Message::fwd(st.round, self_));
+      send_to_predecessors(Message::bwd(st.round, self_));
       stats_.fwd_bwd_sent += 2;
     }
     // Deliver only inside a surviving partition: ⌊n/2⌋ distinct FWD and
     // BWD origins besides ourselves make a strict majority with us.
     const std::size_t needed = view_->size() / 2;
-    if (fwd_count_ < needed || bwd_count_ < needed) return;
+    if (st.fwd_count < needed || st.bwd_count < needed) return;
   }
-  deliver_round();
+  // Completion is out-of-order; A-delivery is not. The round is marked
+  // done here and delivered by deliver_ready() once every earlier round
+  // delivered.
+  st.complete = true;
 }
 
-void Engine::deliver_round() {
+void Engine::deliver_ready() {
+  if (delivering_) return;  // folds into the outer loop
+  delivering_ = true;
+  while (!departed_ && !window_.empty() && window_.front()->complete) {
+    deliver_front();
+  }
+  delivering_ = false;
+}
+
+void Engine::deliver_front() {
+  RoundState& st = *window_.front();
+
   // --- Assemble the result (deliveries in deterministic id order). ---
   RoundResult result;
-  result.round = round_;
+  result.round = st.round;
   result.view_size = view_->size();
-  std::vector<NodeId> leaves;
+  bool change_here = false;
+  const auto track_unique = [&change_here](std::vector<NodeId>& list,
+                                           NodeId id) {
+    if (std::find(list.begin(), list.end(), id) == list.end()) {
+      list.push_back(id);
+      change_here = true;
+    }
+  };
   // One scan callback for the whole round, not one per delivery.
   const std::function<void(Request::Kind, NodeId)> on_control =
       [&](Request::Kind kind, NodeId subject) {
         if (kind == Request::Kind::kJoin && !view_->contains(subject)) {
-          result.joined.push_back(subject);
+          track_unique(epoch_joined_, subject);
         } else if (kind == Request::Kind::kLeave &&
                    view_->contains(subject)) {
-          leaves.push_back(subject);
+          track_unique(epoch_leaves_, subject);
         }
       };
   for (std::size_t r = 0; r < view_->size(); ++r) {
-    if (!have_[r]) {
-      result.removed.push_back(view_->member(r));
+    if (!st.have[r]) {
+      // Absent: decided failed. During a draining window the server stays
+      // a member for the remaining old-view rounds, so only the first
+      // deciding round accumulates it (reported at the epoch close).
+      track_unique(epoch_absent_, view_->member(r));
       continue;
     }
     Delivery d;
     d.origin = view_->member(r);
-    d.payload = msgs_[r];
-    d.bytes = msg_bytes_[r];
+    d.payload = st.msgs[r];
+    d.bytes = st.msg_bytes[r];
     result.deliveries.push_back(d);
     // Membership control requests ride in ordinary batches; scanned
     // without materializing the batch (no per-request data copies).
     if (d.payload) scan_membership(d.payload, on_control);
   }
-  std::sort(result.joined.begin(), result.joined.end());
-  result.joined.erase(std::unique(result.joined.begin(), result.joined.end()),
-                      result.joined.end());
+  if (change_here && !epoch_close_) {
+    // First membership change of this epoch: the view switches after the
+    // window drained. No server can have opened round R+W under the old
+    // view (opening it requires having delivered R), so R+W-1 closes the
+    // epoch deterministically everywhere. W = 1 reduces to the classic
+    // next-round switch.
+    epoch_close_ = st.round + options_.window - 1;
+  }
   ++stats_.rounds_completed;
 
-  // --- Transition to round R+1 (Algorithm 1 lines 9-13). ---
-  std::vector<NodeId> removed_all = result.removed;
-  removed_all.insert(removed_all.end(), leaves.begin(), leaves.end());
-  const bool membership_changed =
-      !removed_all.empty() || !result.joined.empty();
+  // --- Transition (Algorithm 1 lines 9-13, windowed). ---
+  const bool closing = epoch_close_ && *epoch_close_ == st.round;
+  if (closing) {
+    std::sort(epoch_absent_.begin(), epoch_absent_.end());
+    std::sort(epoch_joined_.begin(), epoch_joined_.end());
+    result.removed = epoch_absent_;
+    result.joined = epoch_joined_;
 
-  if (std::find(removed_all.begin(), removed_all.end(), self_) !=
-      removed_all.end()) {
-    departed_ = true;
-    hooks_.deliver(result);
-    return;
-  }
+    std::vector<NodeId> removed_all = epoch_absent_;
+    removed_all.insert(removed_all.end(), epoch_leaves_.begin(),
+                       epoch_leaves_.end());
+    std::sort(removed_all.begin(), removed_all.end());
+    removed_all.erase(std::unique(removed_all.begin(), removed_all.end()),
+                      removed_all.end());
 
-  std::shared_ptr<const View> next_view =
-      membership_changed
-          ? std::make_shared<const View>(
-                view_->next(removed_all, result.joined, builder_))
-          : view_;
-
-  // Carry failure notifications of servers that remain members (line 12).
-  std::vector<std::pair<NodeId, NodeId>> carried;
-  for (const auto& [j, k] : fails_) {
-    if (next_view->contains(j)) carried.emplace_back(j, k);
-  }
-
-  ++round_;
-  view_ = std::move(next_view);
-  fails_.clear();
-  start_round_state();
-
-  // Re-seed and resend the carried notifications in the new round
-  // (line 13); dissemination uses the new round tag.
-  for (const auto& [j, k] : carried) {
-    process_failure_pair(j, k, /*disseminate=*/true);
-  }
-
-  // Report R before replaying any buffered R+1 traffic so deliveries stay
-  // in round order; the hook may submit/broadcast for the new round.
-  hooks_.deliver(result);
-
-  if (!next_round_buffer_.empty()) {
-    const std::vector<std::pair<NodeId, Message>> buffered =
-        std::move(next_round_buffer_);
-    next_round_buffer_.clear();
-    for (const auto& [from, msg] : buffered) {
-      on_message(from, msg);
+    if (std::find(removed_all.begin(), removed_all.end(), self_) !=
+        removed_all.end()) {
+      // Departing: freeze at this round (no transition, no new rounds).
+      departed_ = true;
+      hooks_.deliver(result);
+      return;
     }
+
+    auto next_view = std::make_shared<const View>(
+        view_->next(removed_all, result.joined, builder_));
+
+    // Carry failure notifications of servers that remain members
+    // (line 12); open_round() seeds the new epoch's first round from
+    // carry_fails_ and re-disseminates them under its tag.
+    carry_fails_.clear();
+    for (const auto& [j, k] : st.fails) {
+      if (next_view->contains(j)) carry_fails_.insert({j, k});
+    }
+    view_ = std::move(next_view);
+    suspected_rank_.assign(view_->size(), false);
+    for (const auto& [j, k] : carry_fails_) {
+      if (k == self_) {
+        const auto rank_j = view_->rank_of(j);
+        ALLCONCUR_ASSERT(rank_j.has_value(), "carried failure left the view");
+        suspected_rank_[*rank_j] = true;
+      }
+    }
+    epoch_absent_.clear();
+    epoch_leaves_.clear();
+    epoch_joined_.clear();
+    epoch_close_.reset();
+  } else {
+    // Carry on every transition, not only at epoch closes (classic line
+    // 12): with W = 1 the window is empty the instant the front pops, so
+    // the next round seeds from carry_fails_ — without this, a pair
+    // learned during a round whose origin still delivered (crash after a
+    // complete broadcast) would vanish and the dead server's tracking
+    // could never resolve again.
+    carry_fails_ = st.fails;
   }
+
+  std::unique_ptr<RoundState> done = std::move(window_.front());
+  window_.pop_front();
+  ++base_round_;
+  recycle(std::move(done));
+  refill_window();
+
+  // Report R before replaying any parked future traffic so deliveries
+  // stay in round order; the hook may submit/broadcast for the new
+  // window.
+  hooks_.deliver(result);
+  replay_parked();
 }
 
 }  // namespace allconcur::core

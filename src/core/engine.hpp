@@ -1,16 +1,49 @@
 // The AllConcur protocol engine: Algorithm 1 plus round iteration, dynamic
-// membership and the ⋄P surviving-partition extension (§3).
+// membership, the ⋄P surviving-partition extension (§3) — and round
+// pipelining: a window of W consecutive rounds runs concurrently, the way
+// the paper's performance model assumes (§5: a server that finished round
+// R immediately starts R+1 while slower peers are still relaying R).
 //
 // The engine is a pure message-driven state machine: it owns no sockets,
 // threads or clocks. It consumes (from, Message) events and emits messages
 // through a send hook; round completion is reported through a deliver
 // hook. The same engine instance runs under the discrete-event simulator,
 // under the real TCP transport, and directly inside unit tests.
+//
+// Pipelining model (Options::window = W ≥ 1):
+//   * Rounds [r_delivered+1, r_delivered+W] are *open*: their BCAST, FAIL,
+//     FWD and BWD traffic is processed — and relayed — immediately on
+//     arrival, each round on its own RoundState. Rounds may *complete*
+//     (message set decided) out of order; A-delivery stays strictly in
+//     round order.
+//   * Own broadcasts fill the window front-to-back: broadcast_now() packs
+//     the pending batch into the lowest round not yet broadcast, so a
+//     producer can keep up to W rounds in flight before any delivery.
+//   * Membership changes drain the window before the view switches: a
+//     change decided by round t takes effect at round t+W (deterministic
+//     across servers — no node can have opened t+W under the old view,
+//     because opening it requires having delivered t). Rounds t..t+W-1
+//     run out under the old view, with failed servers resolved by the
+//     carried failure notifications; the close round t+W-1 reports the
+//     accumulated removed/joined sets and the next round starts the new
+//     view. With W = 1 this is exactly the classic per-round iteration.
+//   * Messages beyond the window (round > r_delivered+W) are counted in
+//     EngineStats::dropped_ahead; those still reachable by a live peer
+//     (≤ r_delivered+2W — a peer can be at most W rounds ahead of our
+//     frontier, and broadcast W more) are parked and replayed when the
+//     window advances, anything farther means we were evicted.
+//
+// RoundStates are pooled: a delivered round's state (flag vectors,
+// tracking digraphs, message slots) is recycled for the next opened round,
+// so a steady-state round transition performs no heap allocation at any
+// window size (bench/wire_path and bench/round_pipeline measure this).
 #pragma once
 
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <set>
 #include <vector>
 
@@ -36,7 +69,11 @@ struct RoundResult {
   Round round = 0;
   std::size_t view_size = 0;            ///< n of this round
   std::vector<Delivery> deliveries;     ///< deterministic order (by id)
-  std::vector<NodeId> removed;          ///< tagged failed at round end
+  /// Servers leaving the membership after this round. Reported on the
+  /// round that *closes* an epoch (the last round before the view
+  /// switches); with window > 1 a failure decided at round t is thus
+  /// reported at t+W-1, after the window drained.
+  std::vector<NodeId> removed;
   std::vector<NodeId> joined;           ///< admitted from the next round
 };
 
@@ -52,11 +89,20 @@ struct EngineStats {
   std::uint64_t dropped_suspected = 0;  ///< ignore-after-suspect (§3.3.2)
   std::uint64_t dropped_foreign = 0;    ///< origin not in the view
   std::uint64_t dropped_lost = 0;       ///< arrived after declared lost (⋄P)
+  /// Messages ahead of the active window (round > r_delivered + window).
+  /// Those within the reachable horizon (≤ r_delivered + 2*window) are
+  /// parked and replayed once the window advances; farther-future traffic
+  /// means we were evicted and is discarded (the harness decides on
+  /// rejoin). Before pipelining these were silently discarded.
+  std::uint64_t dropped_ahead = 0;
   std::uint64_t rounds_completed = 0;
 };
 
 struct EngineOptions {
   FdMode fd_mode = FdMode::kPerfect;
+  /// Number of concurrently active rounds W (≥ 1). 1 reproduces the
+  /// classic stop-and-wait iteration exactly.
+  std::size_t window = 1;
 };
 
 class Engine {
@@ -68,7 +114,8 @@ class Engine {
     /// are immutable and refcounted) instead of copying. The decoded form
     /// stays available through frame->msg() for in-process consumers.
     std::function<void(NodeId dst, const FrameRef& frame)> send;
-    /// A-deliver one completed round (required).
+    /// A-deliver one completed round (required). Rounds are delivered in
+    /// strict round order even when they complete out of order.
     std::function<void(const RoundResult&)> deliver;
   };
   using Options = EngineOptions;
@@ -78,11 +125,18 @@ class Engine {
          Options options = Options(), Round start_round = 0);
 
   NodeId self() const { return self_; }
-  Round current_round() const { return round_; }
+  /// Oldest round not yet A-delivered (the in-progress round).
+  Round current_round() const { return base_round_; }
   const View& view() const { return *view_; }
   const EngineStats& stats() const { return stats_; }
-  bool has_broadcast() const { return own_broadcast_; }
+  /// True iff the oldest open round carries this server's own broadcast.
+  bool has_broadcast() const;
   bool departed() const { return departed_; }
+  std::size_t window() const { return options_.window; }
+  /// Lowest open round this server has not yet broadcast in (== the round
+  /// the next broadcast_now() with pending work would target), or nullopt
+  /// if every open round already carries our message (window full).
+  std::optional<Round> next_broadcast_round() const;
 
   /// Queues a request for this server's next A-broadcast.
   void submit(Request request);
@@ -91,10 +145,18 @@ class Engine {
   /// charges for the bytes, nothing is materialized).
   void submit_opaque(std::size_t bytes);
 
-  /// A-broadcasts this round's own message (packing everything queued).
-  /// No-op if the round's message was already sent; the engine also
-  /// broadcasts automatically upon the first ⟨BCAST⟩ it receives
-  /// (Algorithm 1 line 15).
+  /// Payload bytes submitted but not yet A-broadcast — the backpressure
+  /// signal: while a full (or draining) window refuses further
+  /// broadcasts, submissions accumulate here and clients should throttle.
+  std::uint64_t pending_bytes() const;
+
+  /// A-broadcasts the pending batch in the lowest open round that has no
+  /// own message yet. The in-progress round broadcasts even empty (round
+  /// progress); later window rounds only with pending work, so repeated
+  /// calls fill the pipeline without spinning empty speculative rounds.
+  /// No-op when every open round already carries our message; the engine
+  /// also broadcasts automatically upon the first ⟨BCAST⟩ it receives
+  /// for a round (Algorithm 1 line 15, applied to every round up to it).
   void broadcast_now();
 
   /// Transport delivery: `from` is the link peer (the relaying
@@ -104,25 +166,67 @@ class Engine {
   /// Local failure detector: predecessor `suspect` is considered failed.
   void on_suspect(NodeId suspect);
 
-  /// Number of still-unresolved tracking digraphs (0 means the message
-  /// set is decided; in ⋄P delivery additionally waits for the gate).
-  std::size_t active_tracking() const { return active_tracking_; }
+  /// Number of still-unresolved tracking digraphs of the oldest open
+  /// round (0 means its message set is decided; in ⋄P delivery
+  /// additionally waits for the gate).
+  std::size_t active_tracking() const;
 
-  /// Read-only access for tests: tracking digraph for a peer (by rank).
-  const TrackingDigraph& tracking_of(std::size_t rank) const {
-    return tracking_[rank];
-  }
+  /// Read-only access for tests: tracking digraph for a peer (by rank) in
+  /// the oldest open round.
+  const TrackingDigraph& tracking_of(std::size_t rank) const;
 
  private:
   class Knowledge;  // FailureKnowledge adapter over engine state
 
-  void start_round_state();
-  void do_broadcast();
-  void handle_bcast(NodeId from, const Message& msg);
+  /// All per-round protocol state (Algorithm 1's M_i and F_i, the
+  /// tracking digraphs, and the ⋄P gate), pooled and recycled across
+  /// rounds. The failure set is per round because a ⟨FAIL, p_j, p_k⟩
+  /// tagged with round r asserts "p_k did not receive m_j^(r)" — valid
+  /// for r and, since suspicion persists, every later round, but *not*
+  /// for earlier open rounds (p_k may well have received m_j there).
+  struct RoundState {
+    Round round = 0;
+    std::vector<Payload> msgs;             // by rank
+    std::vector<std::uint64_t> msg_bytes;  // by rank
+    std::vector<bool> have;                // m ∈ M_i
+    bool own_broadcast = false;
+    std::vector<TrackingDigraph> tracking;
+    std::size_t active_tracking = 0;
+    std::set<std::pair<NodeId, NodeId>> fails;  // F_i, global-id pairs
+    std::vector<bool> failed_rank;
+    std::vector<bool> lost;  // tracking pruned: message declared lost
+    // ⋄P state.
+    bool decided = false;
+    std::vector<bool> fwd_seen, bwd_seen;
+    std::size_t fwd_count = 0, bwd_count = 0;
+    /// Termination reached; awaiting in-order delivery.
+    bool complete = false;
+  };
+
+  RoundState* find_round(Round r);
+  /// Opens the next round after the current window tail (pool-recycled
+  /// state, carried failure notifications re-seeded and re-disseminated).
+  void open_round();
+  void refill_window();
+  void recycle(std::unique_ptr<RoundState> st);
+  /// Highest round the window may currently hold open: base+W-1, capped
+  /// at the epoch close while a membership change is draining.
+  Round max_open_round() const;
+
+  void do_broadcast(RoundState& st);
+  /// Algorithm 1 line 15, windowed: our own message must be out in every
+  /// round up to `r` before we relay someone else's round-`r` message.
+  void ensure_broadcast_up_to(Round r);
+  void handle_bcast(NodeId from, const Message& msg, RoundState& st);
   void handle_fail(const Message& msg);
-  void handle_fwdbwd(NodeId from, const Message& msg);
-  void process_failure_pair(NodeId global_j, NodeId global_k,
-                            bool disseminate);
+  void handle_fwdbwd(NodeId from, const Message& msg, RoundState& st);
+  /// Records (p_j, p_k) in every open round ≥ `from_round` (suspicion
+  /// persists forward, never backward); each round that learns the pair
+  /// disseminates it under its own tag and updates its tracking digraphs.
+  void learn_failure(NodeId global_j, NodeId global_k, Round from_round,
+                     bool disseminate);
+  void apply_failure_to_round(RoundState& st, std::size_t rank_j,
+                              NodeId k_rank_or_sentinel);
   /// Encode-once fan-out: the wire frame is built lazily on the first
   /// live destination and shared by reference with every further one.
   /// Returns the number of messages actually handed to the send hook.
@@ -132,16 +236,22 @@ class Engine {
                                    NodeId skip = kInvalidNode);
   std::size_t fan_out(const std::vector<NodeId>& dsts, const Message& msg,
                       NodeId skip);
-  void check_termination();
-  void deliver_round();
+  void check_termination(RoundState& st);
+  /// Delivers every leading complete round in order (reentrancy-safe:
+  /// calls from within a deliver hook fold into the outer loop).
+  void deliver_ready();
+  void deliver_front();
+  void park_future(NodeId from, const Message& msg);
+  void replay_parked();
 
   NodeId self_;
   GraphBuilder builder_;
   Hooks hooks_;
   Options options_;
 
-  Round round_ = 0;
-  std::shared_ptr<const View> view_;  // immutable; shared across rounds
+  /// Round of window_.front(): the oldest not-yet-delivered round.
+  Round base_round_ = 0;
+  std::shared_ptr<const View> view_;  // immutable; shared by all open rounds
   std::size_t self_rank_ = 0;
   bool departed_ = false;
   // Overlay neighbor lists of self (global ids), recomputed only when the
@@ -154,27 +264,39 @@ class Engine {
   // Requests buffered for the next own broadcast (§5 batching).
   std::vector<Request> pending_;
   std::size_t pending_opaque_bytes_ = 0;
+  std::uint64_t pending_request_bytes_ = 0;
 
-  // Per-round state (reset by start_round_state).
-  std::vector<Payload> msgs_;            // by rank
-  std::vector<std::uint64_t> msg_bytes_; // by rank
-  std::vector<bool> have_;               // m ∈ M_i
-  bool own_broadcast_ = false;
-  std::vector<TrackingDigraph> tracking_;
-  // Free-list: digraphs parked when the view shrinks, so their vertex/edge
-  // capacity is reused when it grows again instead of reallocating.
+  /// Open rounds, contiguous: window_[i] runs round base_round_ + i.
+  std::deque<std::unique_ptr<RoundState>> window_;
+  /// Recycled round states (vectors and tracking digraphs keep capacity).
+  std::vector<std::unique_ptr<RoundState>> pool_;
+  // Free-list: digraphs parked when the view shrinks, so their
+  // vertex/edge capacity is reused when it grows again.
   std::vector<TrackingDigraph> tracking_spares_;
-  std::size_t active_tracking_ = 0;
-  std::set<std::pair<NodeId, NodeId>> fails_;  // F_i as global-id pairs
-  std::vector<bool> failed_rank_;
-  std::vector<bool> suspected_rank_;  // own-FD suspicions (ranks)
-  std::vector<bool> lost_;            // tracking pruned: message declared lost
-  // ⋄P state.
-  bool decided_ = false;
-  std::vector<bool> fwd_seen_, bwd_seen_;
-  std::size_t fwd_count_ = 0, bwd_count_ = 0;
-  // Messages for round R+1 received while still in R.
-  std::vector<std::pair<NodeId, Message>> next_round_buffer_;
+
+  // ---- Epoch state (valid for every open round; reset on view switch) --
+  /// Own-FD suspicions by rank. Epoch-level: a suspicion raised "now"
+  /// covers every open round (all ≥ the round it was raised in), and
+  /// carried pairs re-seed it across the view switch, like the classic
+  /// per-round re-seeding did.
+  std::vector<bool> suspected_rank_;
+  /// Failure pairs carried across a view switch (line 12): seeds the
+  /// first round of the new epoch; within an epoch each new round seeds
+  /// from its predecessor's F_i instead.
+  std::set<std::pair<NodeId, NodeId>> carry_fails_;
+  /// Set once a delivered round decides a membership change: the last
+  /// round of the current view's epoch (= decision round + W - 1). No
+  /// round beyond it opens until the window drained and the view
+  /// switched.
+  std::optional<Round> epoch_close_;
+  std::vector<NodeId> epoch_absent_;  // accumulated removals (decision order)
+  std::vector<NodeId> epoch_leaves_;  // accumulated voluntary leaves
+  std::vector<NodeId> epoch_joined_;  // accumulated admissions
+
+  /// Messages ahead of the window, parked until their round opens.
+  std::deque<std::pair<NodeId, Message>> future_;
+  bool replaying_ = false;   // re-parking during replay: don't recount
+  bool delivering_ = false;  // deliver_ready reentrancy guard
 
   EngineStats stats_;
 };

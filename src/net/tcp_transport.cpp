@@ -67,6 +67,7 @@ TcpNode::TcpNode(TcpNodeOptions options, DeliverFn on_deliver)
   };
   core::Engine::Options eopts;
   eopts.fd_mode = options_.fd_mode;
+  eopts.window = options_.window;
   engine_ = std::make_unique<core::Engine>(
       options_.self, core::View(options_.members, options_.builder),
       options_.builder, hooks, eopts);
@@ -494,6 +495,9 @@ void TcpNode::drain_commands() {
     pending.swap(commands_);
   }
   for (auto& fn : pending) fn();
+  // Publish the backpressure signal after the commands (submits,
+  // broadcasts) took effect on the engine.
+  pending_bytes_.store(engine_->pending_bytes(), std::memory_order_release);
 }
 
 void TcpNode::submit(core::Request request) {

@@ -39,6 +39,9 @@ struct TcpNodeOptions {
   std::uint16_t base_port = 39000;    ///< node i listens on base_port + i
   core::GraphBuilder builder;         ///< defaults to the paper overlay
   core::FdMode fd_mode = core::FdMode::kPerfect;
+  /// Round-pipelining window W: up to W consecutive rounds in flight
+  /// (1 = classic stop-and-wait iteration).
+  std::size_t window = 1;
   bool enable_heartbeats = true;
   core::HeartbeatFd::Params fd_params{.period = ms(25), .timeout = ms(250),
                                       .adaptive = false,
@@ -85,6 +88,13 @@ class TcpNode {
   TcpNetStats net_stats() const;
   Round rounds_completed() const {
     return completed_rounds_.load(std::memory_order_acquire);
+  }
+  /// Bytes submitted but not yet A-broadcast — the backpressure signal a
+  /// client should throttle on while the engine's window is full (or
+  /// draining for a membership change). Snapshotted once per event-loop
+  /// wake, so it may lag a just-queued submit by one wake.
+  std::uint64_t pending_bytes() const {
+    return pending_bytes_.load(std::memory_order_acquire);
   }
 
  private:
@@ -158,6 +168,7 @@ class TcpNode {
   std::atomic<bool> stop_{false};
   std::atomic<bool> connected_{false};
   std::atomic<std::uint64_t> completed_rounds_{0};
+  std::atomic<std::uint64_t> pending_bytes_{0};
 };
 
 }  // namespace allconcur::net

@@ -25,8 +25,13 @@ Replica::Replica(std::unique_ptr<StateMachine> machine)
 }
 
 void Replica::on_round(const core::RoundResult& result) {
+  // With round pipelining the engine *completes* rounds out of order, but
+  // A-delivery (and therefore this apply stream) must stay strictly
+  // sequential — a skipped or reordered round would silently fork the
+  // replicated state. Assert the contract instead of trusting the caller.
   ALLCONCUR_ASSERT(result.round == next_round_,
-                   "rounds must be applied consecutively");
+                   "rounds must be applied consecutively (out-of-order "
+                   "delivery from a pipelined engine is a protocol bug)");
   // RoundResult::deliveries is sorted by origin id — the canonical,
   // replica-independent order. Within one delivery, batch order is the
   // origin's submission order, identical everywhere by agreement.

@@ -43,6 +43,12 @@ class KvNode {
   NodeId self() const { return node_->self(); }
   net::TcpNode& transport() { return *node_; }
 
+  /// Bytes submitted but not yet A-broadcast by the underlying engine —
+  /// the client-side throttle signal: while the round window is full (or
+  /// draining for a membership change) submissions queue up here instead
+  /// of going out, and a well-behaved client backs off.
+  std::uint64_t pending_bytes() const { return node_->pending_bytes(); }
+
   // ---- Replica state (thread-safe snapshots) ----
   Round next_round() const;
   std::uint64_t state_hash() const;

@@ -209,6 +209,51 @@ TEST(EngineFailure, CrashAfterFullBroadcastKeepsMessage) {
   }
 }
 
+TEST(EngineFailure, NotificationsCarryAcrossUneventfulTransitions) {
+  // Regression: failure pairs learned during a round whose origin still
+  // delivered (crash after a complete broadcast) must survive the
+  // transition even though the round closes with no membership change —
+  // the windowed engine once seeded the next round from an empty carry
+  // set in exactly this case, leaving the dead server tracked forever.
+  std::vector<NodeId> members{0, 1, 2};
+  const auto builder = [](std::size_t n) { return graph::make_complete(n); };
+  std::vector<std::pair<NodeId, Message>> sent;
+  std::vector<RoundResult> delivered;
+  Engine::Hooks hooks;
+  hooks.send = [&](NodeId dst, const FrameRef& f) {
+    sent.emplace_back(dst, f->msg());
+  };
+  hooks.deliver = [&](const RoundResult& r) { delivered.push_back(r); };
+  Engine e(0, View(members, builder), builder, hooks);
+
+  // Round 0: p2 broadcast fully, then died — m2 arrives first (relayed
+  // by p1), the suspicions after; the round delivers all three messages
+  // with nobody removed.
+  e.broadcast_now();
+  e.on_message(1, Message::bcast(0, 2, nullptr));  // m2, relayed by p1
+  e.on_suspect(2);                                 // pair (2, 0)
+  e.on_message(1, Message::fail(0, 2, 1));         // pair (2, 1)
+  e.on_message(1, Message::bcast(0, 1, nullptr));
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0].deliveries.size(), 3u);
+  EXPECT_TRUE(delivered[0].removed.empty());
+
+  // Transition re-disseminated the carried pairs under the new round tag.
+  const auto carried_fails =
+      std::count_if(sent.begin(), sent.end(), [](const auto& s) {
+        return s.second.type == MsgType::kFail && s.second.round == 1;
+      });
+  EXPECT_GT(carried_fails, 0) << "carried pairs were not re-disseminated";
+
+  // Round 1: p2 is silent. The carried pairs alone must resolve its
+  // tracking — without them this deadlocks (no new FAIL traffic exists).
+  e.broadcast_now();
+  e.on_message(1, Message::bcast(1, 1, nullptr));
+  ASSERT_EQ(delivered.size(), 2u) << "round 1 never resolved the dead server";
+  EXPECT_EQ(delivered[1].removed, (std::vector<NodeId>{2}));
+  EXPECT_EQ(delivered[1].deliveries.size(), 2u);
+}
+
 TEST(EngineFailure, MaxToleratedFailuresOnGs) {
   // GS(8,3) has vertex connectivity 3: f = 2 concurrent crashes must be
   // survivable.

@@ -158,8 +158,11 @@ TEST(Drops, StaleAndFarFutureCounted) {
   e.on_message(1, Message::bcast(0, 1, nullptr));  // round 0: stale
   EXPECT_EQ(e.stats().dropped_stale, before + 1);
 
-  // Round 3 (> current+1): silently discarded, engine stays put.
+  // Round 3 (> current+1): discarded — but counted now, not silently
+  // (the pre-pipelining engine dropped these without a trace).
+  const auto ahead_before = e.stats().dropped_ahead;
   e.on_message(1, Message::bcast(3, 1, nullptr));
+  EXPECT_EQ(e.stats().dropped_ahead, ahead_before + 1);
   EXPECT_EQ(e.current_round(), 1u);
 }
 

@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Diff two bench JSON files and fail on regressions beyond a threshold.
+
+Walks every numeric leaf present in both files (dotted paths, list indices
+by the entry's "window"/"n" key when present, positional otherwise) and
+classifies each metric's direction from its name:
+
+  higher-is-better:  *per_sec*, *speedup*, *rounds*, *ops*
+  lower-is-better:   *latency*, *_us, *_ns, *allocs*, p50*, p99*
+  ignored:           everything else (counts, flags, parameters)
+
+A metric that moved against its direction by more than --threshold
+(default 20%) is a regression; the tool prints every comparison and exits
+1 if any metric regressed.
+
+Intended CI use — deterministic virtual-time metrics only (wall-clock
+sections are excluded with --only):
+
+  tools/bench_compare.py bench/baselines/round_pipeline_smoke.json \
+      bench-out/round_pipeline.json --only sim
+"""
+
+import argparse
+import json
+import re
+import sys
+
+HIGHER = re.compile(r"(per_sec|speedup|rounds_per|ops)", re.IGNORECASE)
+LOWER = re.compile(r"(latency|_us$|_ns$|allocs|^p50|^p99|p50_|p99_)",
+                   re.IGNORECASE)
+# Experiment parameters, not measurements: never gated, even when their
+# name looks like a unit-suffixed metric (pace_us) or a rate (rate_per_sec).
+PARAMS = {"pace_us", "skew_us", "rate_per_sec", "window", "n"}
+
+
+def leaves(node, path=""):
+    """Yields (dotted_path, number) for every numeric leaf."""
+    if isinstance(node, bool):
+        return
+    if isinstance(node, (int, float)):
+        yield path, float(node)
+    elif isinstance(node, dict):
+        for key, value in sorted(node.items()):
+            yield from leaves(value, f"{path}.{key}" if path else key)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            # Stable addressing: key list entries by *all* their identity
+            # fields, so reordering or extending a sweep does not misalign
+            # the comparison — and entries that vary along several axes
+            # (e.g. fig8 cells vary by both n and rate) stay distinct
+            # instead of overwriting each other.
+            label = str(i)
+            if isinstance(value, dict):
+                ids = [f"{k}={value[k]}"
+                       for k in ("window", "n", "rate_per_sec")
+                       if k in value]
+                if ids:
+                    label = ",".join(ids)
+            yield from leaves(value, f"{path}[{label}]")
+
+
+def direction(path):
+    """Returns +1 (higher is better), -1 (lower is better) or 0 (ignore)."""
+    metric = path.rsplit(".", 1)[-1]
+    if metric in PARAMS:
+        return 0
+    if HIGHER.search(metric):
+        return +1
+    if LOWER.search(metric):
+        return -1
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="fail on >threshold regressions between two bench JSONs")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional regression (default 0.20)")
+    parser.add_argument("--only", default=None,
+                        help="compare only paths starting with this prefix "
+                             "(e.g. 'sim' to skip wall-clock sections)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        base = dict(leaves(json.load(f)))
+    with open(args.candidate) as f:
+        cand = dict(leaves(json.load(f)))
+
+    compared = 0
+    regressions = []
+    for path in sorted(base.keys() & cand.keys()):
+        if args.only and not path.startswith(args.only):
+            continue
+        sign = direction(path)
+        if sign == 0:
+            continue
+        old, new = base[path], cand[path]
+        compared += 1
+        if old == 0:
+            status = "SKIP (zero baseline)"
+        else:
+            change = (new - old) / abs(old)
+            regressed = sign * change < -args.threshold
+            status = f"{change:+.1%}"
+            if regressed:
+                status += f"  REGRESSION (> {args.threshold:.0%} worse)"
+                regressions.append(path)
+        arrow = "↑" if sign > 0 else "↓"
+        print(f"  {path} [{arrow} better]: {old:g} -> {new:g}  {status}")
+
+    missing = sorted(base.keys() - cand.keys())
+    if args.only:
+        missing = [p for p in missing if p.startswith(args.only)]
+    missing = [p for p in missing if direction(p) != 0]
+    for path in missing:
+        print(f"  {path}: present in baseline, missing in candidate  "
+              f"REGRESSION (metric disappeared)")
+        regressions.append(path)
+
+    if compared == 0 and not missing:
+        print("error: no comparable metrics found "
+              "(wrong file, or --only prefix matches nothing)")
+        return 2
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} metric(s) regressed beyond "
+              f"{args.threshold:.0%}:")
+        for path in regressions:
+            print(f"  - {path}")
+        return 1
+    print(f"\nOK: {compared} metric(s) within {args.threshold:.0%} "
+          f"of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
