@@ -6,6 +6,9 @@
 // *shape* (who wins, scaling, crossovers) is the reproduction target.
 #pragma once
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cmath>
 #include <cstdarg>
 #include <cstddef>
@@ -15,9 +18,20 @@
 
 #include "api/sim_cluster.hpp"
 #include "common/flags.hpp"
+#include "common/rng.hpp"
 #include "common/stats.hpp"
 
 namespace allconcur::bench {
+
+/// Port block for the localhost TCP harness legs: mixed from pid *and*
+/// wall time, because parallel ctest runs several TCP binaries at once
+/// and pid-only draws collide once in a while (the bind asserts).
+inline std::uint16_t draw_port_base(std::uint64_t salt) {
+  Rng rng(static_cast<std::uint64_t>(::getpid()) * 2654435761u + salt +
+          static_cast<std::uint64_t>(
+              std::chrono::steady_clock::now().time_since_epoch().count()));
+  return static_cast<std::uint16_t>(21000 + rng.next_below(28000));
+}
 
 inline void print_title(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
@@ -100,17 +114,21 @@ struct RateRunResult {
 /// requests accumulated since its previous broadcast. Rounds run
 /// back-to-back; the system destabilizes exactly like the paper describes
 /// (§5: bigger messages -> longer rounds -> bigger messages) once the rate
-/// exceeds the agreement throughput.
+/// exceeds the agreement throughput. `window` > 1 runs the same workload
+/// on the pipelined engine (up to W rounds in flight), which moves the
+/// destabilization knee right.
 inline RateRunResult run_allconcur_rate(std::size_t n,
                                         const sim::FabricParams& fabric,
                                         std::size_t request_bytes,
                                         double requests_per_sec_per_server,
                                         std::size_t warmup_rounds,
                                         std::size_t measured_rounds,
-                                        TimeNs deadline = sec(120)) {
+                                        TimeNs deadline = sec(120),
+                                        std::size_t window = 1) {
   api::ClusterOptions opt;
   opt.n = n;
   opt.fabric = fabric;
+  opt.window = window;
   api::SimCluster cluster(opt);
 
   const double bytes_per_ns = requests_per_sec_per_server *

@@ -32,11 +32,13 @@ struct Series {
   std::vector<Cell> cells;
 };
 
-Series run_series(const char* name, const sim::FabricParams& fabric,
+Series run_series(const std::string& name, const sim::FabricParams& fabric,
                   const std::vector<std::int64_t>& sizes,
-                  const std::vector<std::int64_t>& rates) {
-  print_title(std::string("Fig. 8 (") + name +
-              "): latency vs per-server request rate (64B)");
+                  const std::vector<std::int64_t>& rates,
+                  std::size_t window) {
+  print_title("Fig. 8 (" + name +
+              "): latency vs per-server request rate (64B), W=" +
+              std::to_string(window));
   Series out;
   out.name = name;
   std::printf("%12s", "rate[/s]");
@@ -48,7 +50,7 @@ Series run_series(const char* name, const sim::FabricParams& fabric,
       const auto r = run_allconcur_rate(
           static_cast<std::size_t>(n), fabric, 64,
           static_cast<double>(rate), /*warmup=*/5, /*measured=*/20,
-          /*deadline=*/sec(5));
+          /*deadline=*/sec(5), window);
       Cell cell;
       cell.n = n;
       cell.rate = rate;
@@ -79,11 +81,24 @@ int main(int argc, char** argv) {
       "rates", smoke ? std::vector<std::int64_t>{10, 10000, 10000000}
                      : std::vector<std::int64_t>{10, 100, 1000, 10000, 100000,
                                                  1000000, 10000000, 100000000});
+  // --window: run the whole figure at each listed pipeline width. The
+  // smoke default {1, 4} emits the destabilization curve with and without
+  // the window into one JSON (the "Fig. 8 with W>1" comparison: the knee
+  // moves right with a window, per the paper's §5 pipelining argument);
+  // the full run defaults to the paper's classic W=1.
+  const auto windows = flags.get_int_list(
+      "window", smoke ? std::vector<std::int64_t>{1, 4}
+                      : std::vector<std::int64_t>{1});
   std::vector<Series> series;
-  series.push_back(
-      run_series("ibv", sim::FabricParams::infiniband(), sizes, rates));
-  series.push_back(
-      run_series("tcp", sim::FabricParams::tcp_ib(), sizes, rates));
+  for (const std::int64_t w : windows) {
+    const auto window = static_cast<std::size_t>(w);
+    const std::string suffix = window > 1 ? "_w" + std::to_string(window) : "";
+    series.push_back(run_series("ibv" + suffix,
+                                sim::FabricParams::infiniband(), sizes,
+                                rates, window));
+    series.push_back(run_series("tcp" + suffix, sim::FabricParams::tcp_ib(),
+                                sizes, rates, window));
+  }
   print_note("paper anchors: IBV n=8 @ 100M req/s/server agrees in ~35us; "
              "n=64 @ 32k req/s/server in < 0.75ms; TCP ~3x higher.");
 

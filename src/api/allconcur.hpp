@@ -20,6 +20,9 @@
 //             substitute; see DESIGN.md)
 //   api/    — SimCluster deployments
 //   net/    — real TCP transport (epoll) for multi-process runs
+//   plus/   — the AllConcur+ dual-digraph fast path: paired ⟨G_U, G_R⟩
+//             overlays, the fallback watchdog (untracked failure-free
+//             rounds with automatic fallback to tracked rounds)
 //   smr/    — state-machine replication on the delivered stream: the
 //             replicated KV store, client sessions (exactly-once),
 //             snapshots, and the Sim/TCP mounts
@@ -40,6 +43,7 @@
 #include "graph/properties.hpp"
 #include "graph/reliability.hpp"
 #include "net/tcp_transport.hpp"
+#include "plus/plus.hpp"
 #include "sim/network_model.hpp"
 #include "sim/simulator.hpp"
 #include "smr/smr.hpp"

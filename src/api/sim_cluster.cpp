@@ -28,7 +28,8 @@ SimCluster::SimCluster(ClusterOptions options)
     members[i] = static_cast<NodeId>(i);
   }
   for (std::size_t i = 0; i < options_.n; ++i) {
-    create_node(static_cast<NodeId>(i), View(members, options_.builder),
+    create_node(static_cast<NodeId>(i),
+                View(members, options_.builder, options_.fast_builder),
                 /*start_round=*/0);
     nodes_[i]->active = true;
   }
@@ -51,10 +52,16 @@ void SimCluster::create_node(NodeId id, View view, Round start_round) {
   Engine::Options eopts;
   eopts.fd_mode = options_.fd_mode;
   eopts.window = options_.window;
+  eopts.fast_builder = options_.fast_builder;
   node->engine = std::make_unique<Engine>(id, std::move(view),
                                           options_.builder, hooks, eopts,
                                           start_round);
   nodes_[id] = std::move(node);
+  if (options_.fast_builder && options_.fallback_timeout > 0) {
+    nodes_[id]->watchdog =
+        std::make_unique<plus::FallbackTimer>(options_.fallback_timeout);
+    schedule_watchdog_tick(id);
+  }
 }
 
 void SimCluster::wire_fd(NodeId id) {
@@ -69,9 +76,36 @@ void SimCluster::wire_fd(NodeId id) {
     if (!n.crashed && n.active) n.engine->on_suspect(suspect);
   };
   node.fd = std::make_unique<HeartbeatFd>(id, options_.fd_params, hooks);
-  node.fd->set_peers(node.engine->view().successors_of(id),
-                     node.engine->view().predecessors_of(id), sim_.now());
+  // Dual mode monitors the union overlay: a fallback's tracking liveness
+  // needs every G_U ∪ G_R successor of a crashed server to suspect it.
+  node.fd->set_peers(node.engine->view().monitor_successors_of(id),
+                     node.engine->view().monitor_predecessors_of(id),
+                     sim_.now());
   schedule_fd_tick(id);
+}
+
+void SimCluster::schedule_watchdog_tick(NodeId id) {
+  // Half the timeout bounds the detection lag at 1.5x the nominal value.
+  sim_.schedule(options_.fallback_timeout / 2, [this, id] {
+    Node& node = *nodes_[id];
+    if (node.crashed) return;  // dead: the watchdog dies with the node
+    if (node.active && !node.engine->departed()) {
+      Engine& e = *node.engine;
+      if (const auto stuck = node.watchdog->poll(
+              e.current_round(), e.front_round_progress(), sim_.now())) {
+        e.on_round_timeout(*stuck);
+      }
+    }
+    schedule_watchdog_tick(id);
+  });
+}
+
+void SimCluster::force_fallback(NodeId id) {
+  sim_.schedule(0, [this, id] {
+    if (!alive(id)) return;
+    Engine& e = *nodes_[id]->engine;
+    e.on_round_timeout(e.current_round());
+  });
 }
 
 void SimCluster::schedule_fd_tick(NodeId id) {
@@ -142,7 +176,8 @@ void SimCluster::handle_send(NodeId src, NodeId dst, const FrameRef& frame) {
   const Message& msg = frame->msg();
   // Record the instant a node A-broadcasts its own message (used by the
   // latency harnesses as the round start at that node).
-  if (msg.type == MsgType::kBroadcast && msg.origin == src) {
+  if ((msg.type == MsgType::kBroadcast || msg.type == MsgType::kUBcast) &&
+      msg.origin == src) {
     sender.bcast_times.emplace(msg.round, sim_.now());
   }
 
@@ -175,8 +210,9 @@ void SimCluster::handle_delivery(NodeId id, const RoundResult& result) {
   // Membership changed: reconfigure the FD and activate any joiners.
   if (!result.joined.empty() || !result.removed.empty()) {
     if (node.fd && !node.engine->departed()) {
-      node.fd->set_peers(node.engine->view().successors_of(id),
-                         node.engine->view().predecessors_of(id), sim_.now());
+      node.fd->set_peers(node.engine->view().monitor_successors_of(id),
+                         node.engine->view().monitor_predecessors_of(id),
+                         sim_.now());
     }
     // The rebuilt overlay may hand this node *new* predecessors that are
     // long dead but still members (their last message was delivered).
@@ -191,7 +227,8 @@ void SimCluster::handle_delivery(NodeId id, const RoundResult& result) {
         // First commit observation anywhere in the cluster instantiates
         // the joiner with the new view, starting at the next round.
         create_node(joiner,
-                    View(node.engine->view().members(), options_.builder),
+                    View(node.engine->view().members(), options_.builder,
+                         options_.fast_builder),
                     result.round + 1);
         wire_fd(joiner);
       }
@@ -214,7 +251,8 @@ void SimCluster::handle_delivery(NodeId id, const RoundResult& result) {
 }
 
 void SimCluster::reinject_oracle_suspicions(NodeId id) {
-  for (NodeId pred : nodes_[id]->engine->view().predecessors_of(id)) {
+  for (NodeId pred :
+       nodes_[id]->engine->view().monitor_predecessors_of(id)) {
     if (exists(pred) && nodes_[pred]->crashed) {
       sim_.schedule(options_.detection_delay, [this, id, pred] {
         if (alive(id)) nodes_[id]->engine->on_suspect(pred);
@@ -261,7 +299,7 @@ void SimCluster::crash_after_sends(NodeId id, TimeNs when,
         if (other == id || !alive(other)) continue;
         Engine& e = *nodes_[other]->engine;
         if (!e.view().contains(id)) continue;
-        const auto preds = e.view().predecessors_of(other);
+        const auto preds = e.view().monitor_predecessors_of(other);
         if (std::find(preds.begin(), preds.end(), id) != preds.end()) {
           e.on_suspect(id);
         }
@@ -337,6 +375,14 @@ core::EngineStats SimCluster::aggregate_stats() const {
     total.fail_received += s.fail_received;
     total.fwd_bwd_sent += s.fwd_bwd_sent;
     total.fwd_bwd_received += s.fwd_bwd_received;
+    total.ubcast_sent += s.ubcast_sent;
+    total.ubcast_received += s.ubcast_received;
+    total.fallback_sent += s.fallback_sent;
+    total.fallback_received += s.fallback_received;
+    total.fallbacks_initiated += s.fallbacks_initiated;
+    total.fast_rounds += s.fast_rounds;
+    total.fallback_rounds += s.fallback_rounds;
+    total.tracking_resets += s.tracking_resets;
     total.bytes_sent += s.bytes_sent;
     total.frames_encoded += s.frames_encoded;
     total.dropped_stale += s.dropped_stale;

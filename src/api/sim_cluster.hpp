@@ -15,6 +15,7 @@
 
 #include "core/engine.hpp"
 #include "core/failure_detector.hpp"
+#include "plus/fallback_timer.hpp"
 #include "sim/network_model.hpp"
 #include "sim/simulator.hpp"
 
@@ -30,6 +31,19 @@ struct ClusterOptions {
   /// [delivered+1, delivered+W] run concurrently (1 = classic
   /// stop-and-wait iteration).
   std::size_t window = 1;
+
+  /// Dual-digraph fast path (AllConcur+): builder for the unreliable
+  /// overlay G_U. When set, engines run failure-free rounds untracked
+  /// over G_U and fall back to tracked rounds over G_R (built by
+  /// `builder`) on suspicion or timeout; the fabric routes both overlays'
+  /// links and the FD monitors their union. Empty = classic mode.
+  /// plus::make_unreliable_builder() is the stock pairing.
+  core::GraphBuilder fast_builder;
+  /// Dual mode round watchdog: an armed round stuck longer than this
+  /// triggers the fallback transition at the stuck node. 0 disables the
+  /// watchdog (fallbacks then come only from suspicions or an explicit
+  /// force_fallback).
+  DurationNs fallback_timeout = ms(50);
 
   /// false: a perfect oracle notifies live successors `detection_delay`
   /// after a crash (the paper's evaluation setup: "all the experiments
@@ -98,6 +112,12 @@ class SimCluster {
   /// pipelining bench uses to create the convoy effect a window hides.
   void set_send_delay(NodeId id, DurationNs extra);
 
+  /// Dual mode: forces a spurious fallback at `id` for its oldest open
+  /// round at the current simulation time (what the round watchdog would
+  /// do on a timeout). Safe by design with no real failure — the property
+  /// suite and the dual-digraph bench use it to measure fallback cost.
+  void force_fallback(NodeId id);
+
   /// Link-level fault injection (§3.3.1: partitions remove edges, not
   /// vertices): messages for which `drop(src, dst)` returns true are lost.
   /// Pass nullptr to heal. With the heartbeat FD enabled, suspicions arise
@@ -128,6 +148,8 @@ class SimCluster {
     std::size_t sends_left = 0;
     std::vector<std::pair<NodeId, core::FrameRef>> preactivation;
     std::map<Round, TimeNs> bcast_times;
+    /// Dual-mode round watchdog (shared policy, see plus/fallback_timer).
+    std::unique_ptr<plus::FallbackTimer> watchdog;
   };
 
   std::function<bool(NodeId, NodeId)> link_filter_;
@@ -142,6 +164,7 @@ class SimCluster {
   void handle_send(NodeId src, NodeId dst, const core::FrameRef& frame);
   void handle_delivery(NodeId id, const core::RoundResult& result);
   void schedule_fd_tick(NodeId id);
+  void schedule_watchdog_tick(NodeId id);
 
   ClusterOptions options_;
   sim::Simulator sim_;

@@ -36,6 +36,13 @@ Engine::Engine(NodeId self, View view, GraphBuilder builder, Hooks hooks,
   ALLCONCUR_ASSERT(hooks_.send && hooks_.deliver, "engine hooks required");
   ALLCONCUR_ASSERT(view_->contains(self_), "self must be a view member");
   ALLCONCUR_ASSERT(options_.window >= 1, "window must be at least 1");
+  if (fast_path()) {
+    ALLCONCUR_ASSERT(view_->has_fast_overlay(),
+                     "dual-digraph mode needs a view built with the same "
+                     "fast_builder");
+    ALLCONCUR_ASSERT(options_.fd_mode == FdMode::kPerfect,
+                     "dual-digraph mode requires a perfect failure detector");
+  }
   suspected_rank_.assign(view_->size(), false);
   refill_window();
 }
@@ -80,6 +87,9 @@ void Engine::open_round() {
     self_rank_ = *rank;
     succs_ = view_->successors_of(self_);
     preds_ = view_->predecessors_of(self_);
+    if (fast_path()) {
+      u_succs_ = view_->fast_successors_of(self_);
+    }
     neighbors_view_ = view_.get();
   }
 
@@ -94,30 +104,20 @@ void Engine::open_round() {
   st->msgs.assign(n, nullptr);
   st->msg_bytes.assign(n, 0);
   st->have.assign(n, false);
+  st->have_count = 0;
   st->own_broadcast = false;
-  if (st->tracking.size() > n) {
-    // View shrank: park the spare digraphs (with their capacity) on the
-    // free-list instead of destroying them.
-    std::move(st->tracking.begin() + static_cast<std::ptrdiff_t>(n),
-              st->tracking.end(), std::back_inserter(tracking_spares_));
-    st->tracking.resize(n);
-  }
-  while (st->tracking.size() < n) {
-    if (!tracking_spares_.empty()) {
-      st->tracking.push_back(std::move(tracking_spares_.back()));
-      tracking_spares_.pop_back();
-    } else {
-      st->tracking.emplace_back();
-    }
-  }
-  for (std::size_t rank = 0; rank < n; ++rank) {
-    if (rank == self_rank_) {
-      st->tracking[rank].reset_empty();
-    } else {
-      st->tracking[rank].reset(static_cast<NodeId>(rank));
-    }
-  }
-  st->active_tracking = n > 0 ? n - 1 : 0;
+  st->fell_back = false;
+  st->fallback_relayed = false;
+  st->fallback_attempt = 0;
+  st->assisted = false;
+  // A round with inherited failure notifications can never complete fast
+  // (the failed member's message will not arrive over G_U), so it opens
+  // on the reliable path directly; failure-free rounds open FAST and skip
+  // the tracking machinery entirely (st->tracking keeps whatever stale
+  // pool state it has — guarded by st->fast at every use).
+  const std::set<std::pair<NodeId, NodeId>>& inherited =
+      prev ? prev->fails : carry_fails_;
+  st->fast = fast_path() && inherited.empty();
   st->fails.clear();
   st->failed_rank.assign(n, false);
   st->lost.assign(n, false);
@@ -126,6 +126,11 @@ void Engine::open_round() {
   st->bwd_seen.assign(n, false);
   st->fwd_count = st->bwd_count = 0;
   st->complete = false;
+  if (st->fast) {
+    st->active_tracking = 0;
+  } else {
+    init_tracking(*st);
+  }
   window_.push_back(std::move(st));
 
   // Carry the inherited failure notifications into the fresh round
@@ -134,11 +139,9 @@ void Engine::open_round() {
   // time exactly like the classic per-round transition, so servers that
   // failed in an earlier round resolve here too (and joiners hear about
   // them).
-  const std::set<std::pair<NodeId, NodeId>>& seed =
-      prev ? prev->fails : carry_fails_;
-  if (!seed.empty()) {
+  if (!inherited.empty()) {
     RoundState& ref = *window_.back();
-    for (const auto& [j, k] : seed) {
+    for (const auto& [j, k] : inherited) {
       const auto rank_j = view_->rank_of(j);
       ALLCONCUR_ASSERT(rank_j.has_value(), "carried failure left the view");
       ref.fails.insert({j, k});
@@ -147,6 +150,39 @@ void Engine::open_round() {
       const auto rank_k = view_->rank_of(k);
       apply_failure_to_round(
           ref, *rank_j, rank_k ? static_cast<NodeId>(*rank_k) : kInvalidNode);
+    }
+  }
+}
+
+void Engine::init_tracking(RoundState& st) {
+  const std::size_t n = view_->size();
+  if (st.tracking.size() > n) {
+    // View shrank: park the spare digraphs (with their capacity) on the
+    // free-list instead of destroying them.
+    std::move(st.tracking.begin() + static_cast<std::ptrdiff_t>(n),
+              st.tracking.end(), std::back_inserter(tracking_spares_));
+    st.tracking.resize(n);
+  }
+  while (st.tracking.size() < n) {
+    if (!tracking_spares_.empty()) {
+      st.tracking.push_back(std::move(tracking_spares_.back()));
+      tracking_spares_.pop_back();
+    } else {
+      st.tracking.emplace_back();
+    }
+  }
+  st.active_tracking = 0;
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    // Messages already held (over either overlay) need no tracking; on a
+    // fallback transition mid-round that is everything the fast phase
+    // collected. At round open have[] is all-false and this reduces to
+    // the classic "track everyone but self".
+    if (rank == self_rank_ || st.have[rank]) {
+      st.tracking[rank].reset_empty();
+    } else {
+      st.tracking[rank].reset(static_cast<NodeId>(rank));
+      ++st.active_tracking;
+      ++stats_.tracking_resets;
     }
   }
 }
@@ -234,8 +270,26 @@ void Engine::do_broadcast(RoundState& st) {
   st.msgs[self_rank_] = msg.payload;
   st.msg_bytes[self_rank_] = msg.payload_bytes;
   st.have[self_rank_] = true;
-  stats_.bcast_sent += send_to_successors(msg);
+  ++st.have_count;
+  if (st.fast) {
+    // Fast round: the broadcast travels the unreliable overlay only.
+    msg.type = MsgType::kUBcast;
+    stats_.ubcast_sent += fan_out(u_succs_, msg, kInvalidNode);
+  } else {
+    stats_.bcast_sent += send_to_successors(msg);
+  }
   check_termination(st);
+}
+
+bool Engine::front_round_active() const {
+  return front_round_progress() > 0;
+}
+
+std::size_t Engine::front_round_progress() const {
+  if (window_.empty()) return 0;
+  // have_count counts the own broadcast too (do_broadcast sets the bit),
+  // so it is the round's single monotone activity counter.
+  return window_.front()->have_count;
 }
 
 void Engine::ensure_broadcast_up_to(Round r) {
@@ -291,6 +345,14 @@ void Engine::on_message(NodeId from, const Message& msg) {
   }
 
   if (msg.round < base_round_) {
+    if (msg.type == MsgType::kFallback) {
+      // A laggard is re-executing a round we already delivered: the
+      // trigger must keep flooding and the laggard may need our retained
+      // message set to terminate.
+      handle_fallback_stale(from, msg);
+      deliver_ready();
+      return;
+    }
     ++stats_.dropped_stale;
     return;
   }
@@ -302,7 +364,11 @@ void Engine::on_message(NodeId from, const Message& msg) {
 
   switch (msg.type) {
     case MsgType::kBroadcast:
+    case MsgType::kUBcast:
       handle_bcast(from, msg, *st);
+      break;
+    case MsgType::kFallback:
+      handle_fallback(from, msg, *st);
       break;
     case MsgType::kFwd:
     case MsgType::kBwd:
@@ -342,7 +408,8 @@ void Engine::replay_parked() {
 }
 
 void Engine::handle_bcast(NodeId from, const Message& msg, RoundState& st) {
-  ++stats_.bcast_received;
+  const bool via_fast = msg.type == MsgType::kUBcast;
+  ++(via_fast ? stats_.ubcast_received : stats_.bcast_received);
   const auto from_rank = view_->rank_of(from);
   if (from_rank && suspected_rank_[*from_rank]) {
     // §3.3.2: once a predecessor is suspected, everything but failure
@@ -357,6 +424,12 @@ void Engine::handle_bcast(NodeId from, const Message& msg, RoundState& st) {
     return;
   }
 
+  // A reliable ⟨BCAST⟩ reaching a round we still run fast means a peer
+  // fell back; its ⟨FALLBACK⟩ precedes it on every G_R link, so this is
+  // normally handled already — belt-and-braces for exotic reorderings
+  // (e.g. traffic replayed out of a park), flip before accepting.
+  if (!via_fast && st.fast && !st.complete) enter_fallback(st);
+
   // Algorithm 1 line 15: A-broadcast our own message at the latest upon
   // receiving someone else's — in every round up to the message's (our
   // broadcasts stay in round order).
@@ -364,7 +437,7 @@ void Engine::handle_bcast(NodeId from, const Message& msg, RoundState& st) {
 
   if (st.have[*origin_rank]) return;  // duplicate: already relayed it
 
-  if (st.lost[*origin_rank] || st.decided) {
+  if (!st.fast && (st.lost[*origin_rank] || st.decided)) {
     // ⋄P only (cannot happen with an accurate FD, see tests): the message
     // set was already fixed without m_origin — adding it now would break
     // the FWD/BWD set inferences. Count and drop.
@@ -375,19 +448,250 @@ void Engine::handle_bcast(NodeId from, const Message& msg, RoundState& st) {
   st.have[*origin_rank] = true;
   st.msgs[*origin_rank] = msg.payload;
   st.msg_bytes[*origin_rank] = msg.payload_bytes;
+  ++st.have_count;
 
-  // Line 17-18: relay to our successors (skipping the link it came from —
-  // that peer evidently has it). Counts actual sends: the skipped inbound
-  // link does not inflate bcast_sent.
-  stats_.bcast_sent += send_to_successors(msg, from);
-
-  // Line 19: m_origin is here, stop tracking it.
-  if (!st.tracking[*origin_rank].empty()) {
-    st.tracking[*origin_rank].clear();
-    ALLCONCUR_ASSERT(st.active_tracking > 0, "tracking count underflow");
-    --st.active_tracking;
+  // Line 17-18: relay to our successors along the round's current overlay
+  // (skipping the link it came from — that peer evidently has it; only
+  // valid when the relay stays on the overlay the message arrived by).
+  // Counts actual sends: the skipped inbound link does not inflate the
+  // counters.
+  if (st.fast) {
+    stats_.ubcast_sent += fan_out(u_succs_, msg, via_fast ? from : kInvalidNode);
+  } else {
+    if (via_fast) {
+      // Late G_U traffic after the fallback transition: convert and
+      // relay reliably (the only case that needs a Message copy).
+      Message out = msg;
+      out.type = MsgType::kBroadcast;
+      stats_.bcast_sent += send_to_successors(out);
+    } else {
+      stats_.bcast_sent += send_to_successors(msg, from);
+    }
+    // Line 19: m_origin is here, stop tracking it.
+    if (!st.tracking[*origin_rank].empty()) {
+      st.tracking[*origin_rank].clear();
+      ALLCONCUR_ASSERT(st.active_tracking > 0, "tracking count underflow");
+      --st.active_tracking;
+    }
   }
   check_termination(st);
+}
+
+void Engine::rebroadcast_reliable(Round round, NodeId origin_global,
+                                  const Payload& payload,
+                                  std::uint64_t bytes) {
+  Message m;
+  m.type = MsgType::kBroadcast;
+  m.round = round;
+  m.origin = origin_global;
+  m.payload = payload;
+  m.payload_bytes = bytes;
+  stats_.bcast_sent += send_to_successors(m);
+}
+
+void Engine::assist_fallback(RoundState& st) {
+  if (st.assisted) return;
+  st.assisted = true;
+  // A fast round completes only with the full view's message set, so we
+  // hold every message — re-relaying them over G_R lets every fallen-back
+  // peer terminate by receipt, with the identical (full) set. Must happen
+  // before any round-tagged ⟨FAIL⟩ leaves this server (per-link FIFO).
+  for (std::size_t rank = 0; rank < view_->size(); ++rank) {
+    rebroadcast_reliable(st.round, view_->member(rank), st.msgs[rank],
+                         st.msg_bytes[rank]);
+  }
+}
+
+void Engine::enter_fallback(RoundState& st) {
+  if (!st.fast) return;  // already on the tracked path
+  if (st.complete) {
+    // Completion stands: the fast set is the full view, the only set a
+    // fast round can decide, and the assist guarantees the fallback
+    // re-execution converges to it. Rounds > r that fast-completed out
+    // of order are likewise untouched — a fallback at r does not stall
+    // the pipeline.
+    assist_fallback(st);
+    return;
+  }
+  st.fast = false;
+  st.fell_back = true;
+
+  // Re-execute reliably: our own broadcast must reach G_R. If it already
+  // went out (over G_U), re-issue it as a ⟨BCAST⟩; if we have not
+  // broadcast this round yet, the eventual do_broadcast sends a ⟨BCAST⟩
+  // anyway now that the mode flipped — forcing an empty broadcast here
+  // would change what the round agrees on vs the classic engine.
+  if (st.own_broadcast) {
+    rebroadcast_reliable(st.round, self_, st.msgs[self_rank_],
+                         st.msg_bytes[self_rank_]);
+  }
+  // Relay everything the fast phase collected over G_R — strictly before
+  // any round-r ⟨FAIL⟩ is emitted below, so on every outgoing link a
+  // held message precedes the failure evidence about it (the FIFO
+  // discipline that keeps tracking sound across the two overlays).
+  for (std::size_t rank = 0; rank < view_->size(); ++rank) {
+    if (rank == self_rank_ || !st.have[rank]) continue;
+    rebroadcast_reliable(st.round, view_->member(rank), st.msgs[rank],
+                         st.msg_bytes[rank]);
+  }
+
+  // Instantiate the tracking digraphs for whatever is still missing, then
+  // replay the failure pairs the fast phase recorded (and disseminate
+  // them under this round's tag — fast rounds record but do not apply).
+  init_tracking(st);
+  if (!st.fails.empty()) {
+    const auto pairs = st.fails;  // apply mutates tracking, not fails
+    for (const auto& [j, k] : pairs) {
+      const auto rank_j = view_->rank_of(j);
+      if (!rank_j) continue;
+      stats_.fail_sent +=
+          send_to_successors(Message::fail(st.round, j, k));
+      const auto rank_k = view_->rank_of(k);
+      apply_failure_to_round(
+          st, *rank_j, rank_k ? static_cast<NodeId>(*rank_k) : kInvalidNode);
+    }
+  }
+  check_termination(st);
+}
+
+void Engine::initiate_fallback(RoundState& st) {
+  if (!st.fast || st.complete || st.fallback_relayed) return;
+  st.fallback_relayed = true;
+  ++stats_.fallbacks_initiated;
+  stats_.fallback_sent +=
+      send_to_successors(Message::fallback(st.round, self_));
+  enter_fallback(st);
+}
+
+void Engine::reflood_fallback(RoundState& st) {
+  // Re-issue a stuck tracked round's transition traffic — everything we
+  // hold, then the failure evidence, in the same held-messages-before-
+  // FAILs link order as the original transition. Receivers dedup all of
+  // it, so a spurious re-flood costs bandwidth only.
+  for (std::size_t rank = 0; rank < view_->size(); ++rank) {
+    if (!st.have[rank]) continue;
+    rebroadcast_reliable(st.round, view_->member(rank), st.msgs[rank],
+                         st.msg_bytes[rank]);
+  }
+  for (const auto& [j, k] : st.fails) {
+    stats_.fail_sent += send_to_successors(Message::fail(st.round, j, k));
+  }
+}
+
+void Engine::handle_fallback(NodeId from, const Message& msg,
+                             RoundState& st) {
+  ++stats_.fallback_received;
+  const std::uint32_t attempt = msg.detector;
+  if (st.fallback_relayed && attempt <= st.fallback_attempt) {
+    return;  // this trigger wave was already relayed and acted on
+  }
+  const bool refire = st.fallback_relayed;
+  st.fallback_relayed = true;
+  st.fallback_attempt = std::max(st.fallback_attempt, attempt);
+  // R-broadcast the trigger onward over G_R before any of the fallback's
+  // own traffic, so every ⟨BCAST⟩/⟨FAIL⟩ we emit below finds its receiver
+  // already transitioned.
+  stats_.fallback_sent += send_to_successors(msg, from);
+  if (refire) {
+    // A higher-attempt trigger means someone is still stuck: the earlier
+    // wave's traffic was lost somewhere, so contribute ours again.
+    if (st.fast && st.complete) {
+      st.assisted = false;  // re-arm the one-shot
+      assist_fallback(st);
+    } else if (!st.fast) {
+      reflood_fallback(st);
+    }
+    return;
+  }
+  if (st.fast) {
+    enter_fallback(st);
+  } else {
+    // The round is already on the tracked path (it opened reliable from
+    // inherited failure notifications, or transitioned earlier): the
+    // trigger is a stuck peer asking for recovery — contribute what we
+    // hold.
+    reflood_fallback(st);
+  }
+}
+
+void Engine::handle_fallback_stale(NodeId from, const Message& msg) {
+  ++stats_.fallback_received;
+  for (auto& retained : retained_) {
+    if (retained.round != msg.round) continue;
+    // Per-attempt dedup, not one-shot: a re-fired trigger (higher
+    // attempt) means the laggard is still stuck — the earlier assist was
+    // lost — so it must be re-relayed and re-assisted or the laggard
+    // stalls forever (and, per the retention bound, caps everyone else).
+    if (static_cast<std::int64_t>(msg.detector) <= retained.assisted_attempt)
+      return;
+    retained.assisted_attempt = msg.detector;
+    stats_.fallback_sent += send_to_successors(msg, from);
+    // Assist from retention: the laggard (and anything between us) may
+    // need messages only we still hold. A retained fast round carries the
+    // full set; a retained fallback round carries the decided subset —
+    // either way the laggard's re-execution converges to the same set
+    // (missing messages resolve through the same ⟨FAIL⟩ evidence that
+    // resolved them here).
+    for (const Delivery& d : retained.deliveries) {
+      rebroadcast_reliable(retained.round, d.origin, d.payload, d.bytes);
+    }
+    // Then the failure evidence (after the messages, per the FIFO
+    // discipline): the laggard's tracked re-execution may be waiting on
+    // a lost ⟨FAIL⟩, not a lost message.
+    for (const auto& [j, k] : retained.fails) {
+      stats_.fail_sent +=
+          send_to_successors(Message::fail(retained.round, j, k));
+    }
+    return;
+  }
+  // Beyond the retention horizon: can only mean the sender was evicted or
+  // partitioned past recovery — count and drop.
+  ++stats_.dropped_stale;
+}
+
+void Engine::retain_delivered(const RoundState& st,
+                              const RoundResult& result) {
+  if (!fast_path()) return;
+  RetainedRound entry;
+  if (retained_.size() >= options_.window) {
+    // Ring: recycle the oldest entry's vector capacity.
+    entry = std::move(retained_.front());
+    retained_.pop_front();
+    entry.deliveries.clear();
+    entry.fails.clear();
+  }
+  entry.round = result.round;
+  entry.assisted_attempt = -1;
+  entry.deliveries.insert(entry.deliveries.end(), result.deliveries.begin(),
+                          result.deliveries.end());
+  entry.fails.insert(entry.fails.end(), st.fails.begin(), st.fails.end());
+  retained_.push_back(std::move(entry));
+}
+
+void Engine::on_round_timeout(Round r) {
+  if (departed_ || !fast_path()) return;
+  RoundState* st = find_round(r);
+  if (st == nullptr) return;
+  // Only an armed round falls back: an idle round (nothing broadcast,
+  // nothing received) is merely quiet, and timing it out would make an
+  // idle cluster spin fallback rounds forever.
+  if (!st->own_broadcast && st->have_count == 0) return;
+  if (st->fast) {
+    initiate_fallback(*st);
+  } else if (!st->complete) {
+    // Watchdog fire on a stuck tracked round — one that fell back
+    // earlier, or one that opened reliable outright (inherited failure
+    // notifications) and lost traffic: (re-)flood the trigger and our
+    // contribution. The bumped attempt makes the trigger penetrate the
+    // receivers' per-round dedup, so peers re-relay it and contribute
+    // their held messages / evidence / retention assists again.
+    ++st->fallback_attempt;
+    st->fallback_relayed = true;
+    stats_.fallback_sent += send_to_successors(
+        Message::fallback(st->round, self_, st->fallback_attempt));
+    reflood_fallback(*st);
+  }
+  deliver_ready();
 }
 
 void Engine::handle_fail(const Message& msg) {
@@ -421,6 +725,18 @@ void Engine::learn_failure(NodeId global_j, NodeId global_k, Round from_round,
 
   for (auto& st : window_) {
     if (st->round < from_round) continue;  // never applies backward
+    // Dual-digraph mode: failure evidence about a fast round forces the
+    // transition first — an incomplete fast round re-executes reliably, a
+    // complete one re-relays its (full) set. Both happen before the pair
+    // is disseminated below, keeping every held message ahead of its
+    // failure evidence on each outgoing G_R link.
+    if (st->fast) {
+      if (st->complete) {
+        assist_fallback(*st);
+      } else {
+        initiate_fallback(*st);
+      }
+    }
     if (!st->fails.insert({global_j, global_k}).second) continue;  // dup
     st->failed_rank[*rank_j] = true;
     if (disseminate) {
@@ -436,12 +752,20 @@ void Engine::learn_failure(NodeId global_j, NodeId global_k, Round from_round,
 
 void Engine::apply_failure_to_round(RoundState& st, std::size_t rank_j,
                                     NodeId k_rank_or_sentinel) {
-  // Lines 24-41: update every tracking digraph that contains p_j.
+  // A round still on the fast path has no tracking to update (a complete
+  // fast round records the pair for carry-forward only; an incomplete one
+  // is transitioned by the caller before this runs).
+  if (st.fast) return;
+  // Lines 24-41: update every tracking digraph that contains p_j. The
+  // digraphs run over the monitor overlay: in dual mode a message may
+  // have been relayed along either G_U or G_R, so "whom could m_j have
+  // reached" must chase the union's edges.
   const Knowledge fk(*this, st);
   for (std::size_t r = 0; r < st.tracking.size(); ++r) {
     if (st.tracking[r].empty()) continue;
     if (st.tracking[r].on_failure(static_cast<NodeId>(rank_j),
-                                  k_rank_or_sentinel, view_->overlay(), fk)) {
+                                  k_rank_or_sentinel,
+                                  view_->monitor_overlay(), fk)) {
       ALLCONCUR_ASSERT(st.active_tracking > 0, "tracking count underflow");
       --st.active_tracking;
       st.lost[r] = true;  // pruned to empty: m_r is lost, not received
@@ -482,6 +806,13 @@ void Engine::handle_fwdbwd(NodeId from, const Message& msg, RoundState& st) {
 void Engine::check_termination(RoundState& st) {
   if (departed_ || st.complete) return;
   if (!st.own_broadcast) return;
+  if (st.fast) {
+    // Fast-path early termination: all n messages arrived over G_U. No
+    // tracking was ever consulted; the decided set is the full view by
+    // construction, so it is trivially identical at every completer.
+    if (st.have_count == view_->size()) st.complete = true;
+    return;
+  }
   if (st.active_tracking != 0) return;
 
   if (options_.fd_mode == FdMode::kEventuallyPerfect) {
@@ -566,6 +897,14 @@ void Engine::deliver_front() {
     epoch_close_ = st.round + options_.window - 1;
   }
   ++stats_.rounds_completed;
+  if (fast_path()) {
+    // Counted by how the round actually delivered: rounds that opened
+    // reliable outright (inherited failure notifications) are tracked
+    // rounds too, not fast ones.
+    ++(st.fast ? stats_.fast_rounds : stats_.fallback_rounds);
+    // Keep the delivered set reachable for late ⟨FALLBACK⟩ assists.
+    retain_delivered(st, result);
+  }
 
   // --- Transition (Algorithm 1 lines 9-13, windowed). ---
   const bool closing = epoch_close_ && *epoch_close_ == st.round;
@@ -590,8 +929,8 @@ void Engine::deliver_front() {
       return;
     }
 
-    auto next_view = std::make_shared<const View>(
-        view_->next(removed_all, result.joined, builder_));
+    auto next_view = std::make_shared<const View>(view_->next(
+        removed_all, result.joined, builder_, options_.fast_builder));
 
     // Carry failure notifications of servers that remain members
     // (line 12); open_round() seeds the new epoch's first round from

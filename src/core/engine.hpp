@@ -37,6 +37,24 @@
 // tracking digraphs, message slots) is recycled for the next opened round,
 // so a steady-state round transition performs no heap allocation at any
 // window size (bench/wire_path and bench/round_pipeline measure this).
+//
+// Dual-digraph fast path (Options::fast_builder — AllConcur+, "A Dual
+// Digraph Approach for Leaderless Atomic Broadcast"): rounds open in FAST
+// mode and run untracked over the unreliable overlay G_U — completion is
+// a simple all-n bitmap, no tracking digraphs are instantiated. A
+// suspicion, a round timeout, or a peer's ⟨FALLBACK, r⟩ switches round r
+// (and only round r) to the tracked RELIABLE path over G_R: every server
+// re-broadcasts its round-r message and relays everything it holds over
+// G_R *before* emitting any round-r ⟨FAIL⟩ (the per-link FIFO discipline
+// that keeps the tracking inferences sound when a message travelled G_U),
+// then standard AllConcur termination applies. A fast round can only
+// complete with the full view's message set, so a round that completed
+// fast anywhere is recoverable to the identical set everywhere: the
+// completer assists by re-relaying its full set (from the live round, or
+// from the W-deep retention ring if it already delivered). Rounds opened
+// while failure notifications are pending start reliable directly; once a
+// membership change evicts the failed servers, fast rounds resume. See
+// src/plus/ for the overlay pairing and the deployment-side watchdog.
 #pragma once
 
 #include <cstddef>
@@ -81,6 +99,23 @@ struct EngineStats {
   std::uint64_t bcast_sent = 0, bcast_received = 0;
   std::uint64_t fail_sent = 0, fail_received = 0;
   std::uint64_t fwd_bwd_sent = 0, fwd_bwd_received = 0;
+  // ---- Dual-digraph fast path (AllConcur+ mode) ----
+  std::uint64_t ubcast_sent = 0, ubcast_received = 0;   ///< G_U traffic
+  std::uint64_t fallback_sent = 0, fallback_received = 0;
+  /// Rounds this engine switched to the reliable path on its own
+  /// initiative (local suspicion or round timeout), vs. following a
+  /// peer's ⟨FALLBACK⟩.
+  std::uint64_t fallbacks_initiated = 0;
+  /// Delivered rounds that completed on the untracked fast path.
+  std::uint64_t fast_rounds = 0;
+  /// Delivered rounds that went through the tracked path: mid-round
+  /// fallback transitions and rounds that opened reliable outright
+  /// (inherited failure notifications).
+  std::uint64_t fallback_rounds = 0;
+  /// Tracking digraphs instantiated (reset to a live root). Zero across a
+  /// failure-free fast-path run — the bench-asserted invariant that fast
+  /// rounds skip the tracking machinery entirely.
+  std::uint64_t tracking_resets = 0;
   std::uint64_t bytes_sent = 0;
   /// Wire frames built: exactly one per message this engine emitted,
   /// regardless of the overlay out-degree (the zero-copy invariant).
@@ -103,6 +138,14 @@ struct EngineOptions {
   /// Number of concurrently active rounds W (≥ 1). 1 reproduces the
   /// classic stop-and-wait iteration exactly.
   std::size_t window = 1;
+  /// Dual-digraph fast path (AllConcur+, PAPERS.md): when set, the engine
+  /// runs failure-free rounds untracked over the unreliable overlay G_U
+  /// this builder produces (the View must be constructed with the same
+  /// builder), falling back to tracked rounds over G_R on suspicion, on a
+  /// peer's ⟨FALLBACK⟩, or on a round timeout. Empty = classic mode.
+  /// Requires FdMode::kPerfect (the paper's evaluation assumption; the
+  /// ⋄P gate composes with tracked rounds only).
+  GraphBuilder fast_builder;
 };
 
 class Engine {
@@ -166,6 +209,27 @@ class Engine {
   /// Local failure detector: predecessor `suspect` is considered failed.
   void on_suspect(NodeId suspect);
 
+  /// Dual-digraph mode: the deployment's round watchdog reports that round
+  /// `r` has been stuck beyond the fallback timeout. If `r` is an open,
+  /// incomplete fast round with any activity (our broadcast or a received
+  /// message), the engine initiates the fallback transition: R-broadcasts
+  /// ⟨FALLBACK, r⟩ over G_R and re-executes the round tracked. No-op in
+  /// classic mode, for complete rounds, and for untouched idle rounds —
+  /// calling it spuriously (no real failure) is safe by design and is how
+  /// the property suite forces fallbacks.
+  void on_round_timeout(Round r);
+
+  /// True iff the dual-digraph fast path is enabled.
+  bool fast_path() const { return static_cast<bool>(options_.fast_builder); }
+  /// Dual mode: true iff the oldest open round saw any activity (own
+  /// broadcast or a received message) — the watchdog's "armed" signal.
+  bool front_round_active() const;
+  /// Dual mode: monotone per-round progress counter of the oldest open
+  /// round (messages received + own broadcast). The watchdog re-arms its
+  /// deadline whenever this moves, so a legitimately slow round (latency
+  /// above the timeout but traffic still flowing) is not timed out.
+  std::size_t front_round_progress() const;
+
   /// Number of still-unresolved tracking digraphs of the oldest open
   /// round (0 means its message set is decided; in ⋄P delivery
   /// additionally waits for the gate).
@@ -189,7 +253,23 @@ class Engine {
     std::vector<Payload> msgs;             // by rank
     std::vector<std::uint64_t> msg_bytes;  // by rank
     std::vector<bool> have;                // m ∈ M_i
+    std::size_t have_count = 0;            // popcount of have
     bool own_broadcast = false;
+    // ---- Per-round mode tag (dual-digraph) ----
+    /// True while the round runs the untracked fast path over G_U:
+    /// completion is have_count == n, the tracking vector is untouched
+    /// stale pool state and must not be read. Flipped (once, forward
+    /// only) by enter_fallback. Always false in classic mode.
+    bool fast = false;
+    bool fell_back = false;       ///< entered the tracked fallback path
+    bool fallback_relayed = false;  ///< ⟨FALLBACK, r⟩ sent/relayed already
+    /// Highest trigger attempt seen or sent: a trigger with a higher
+    /// attempt (a watchdog re-fire somewhere) penetrates the dedup and
+    /// re-floods, so a lost transition is recoverable.
+    std::uint32_t fallback_attempt = 0;
+    /// Fast-complete round: full message set re-relayed over G_R to help
+    /// fallen-back laggards (once per trigger attempt).
+    bool assisted = false;
     std::vector<TrackingDigraph> tracking;
     std::size_t active_tracking = 0;
     std::set<std::pair<NodeId, NodeId>> fails;  // F_i, global-id pairs
@@ -201,6 +281,26 @@ class Engine {
     std::size_t fwd_count = 0, bwd_count = 0;
     /// Termination reached; awaiting in-order delivery.
     bool complete = false;
+  };
+
+  /// Message set of a delivered fast-path round, retained for the last
+  /// `window` rounds: a laggard's ⟨FALLBACK, r⟩ can arrive after we
+  /// delivered r and recycled its state, and the fallback's termination
+  /// may depend on messages only we still hold. The window bound is
+  /// exact: a peer stuck at round r caps everyone's progress at r+W
+  /// (no round beyond r+W-1 can complete without the stuck peer's
+  /// broadcast, which never comes).
+  struct RetainedRound {
+    Round round = 0;
+    std::vector<Delivery> deliveries;
+    /// The round's failure pairs: a laggard's tracked re-execution may
+    /// need the evidence (not just the messages) to terminate — e.g. to
+    /// prune a crashed member whose FAIL it lost.
+    std::vector<std::pair<NodeId, NodeId>> fails;
+    /// Highest trigger attempt already assisted (-1: never) — a re-fired
+    /// trigger (higher attempt) is re-relayed and re-assisted, so a
+    /// laggard whose assist traffic was lost can still recover.
+    std::int64_t assisted_attempt = -1;
   };
 
   RoundState* find_round(Round r);
@@ -217,7 +317,41 @@ class Engine {
   /// Algorithm 1 line 15, windowed: our own message must be out in every
   /// round up to `r` before we relay someone else's round-`r` message.
   void ensure_broadcast_up_to(Round r);
+  /// (Re-)instantiates the tracking digraphs of `st` for every message
+  /// not yet received, seeding active_tracking. Classic rounds run it at
+  /// open; dual-mode rounds only on the fallback transition.
+  void init_tracking(RoundState& st);
+  /// Handles ⟨BCAST⟩ and ⟨UBCAST⟩ — the payload semantics are identical;
+  /// only the relay overlay differs by the round's current mode.
   void handle_bcast(NodeId from, const Message& msg, RoundState& st);
+  /// Handles ⟨FALLBACK, r⟩ for an open round: relays it over G_R and
+  /// enters the fallback transition.
+  void handle_fallback(NodeId from, const Message& msg, RoundState& st);
+  /// ⟨FALLBACK, r⟩ for an already-delivered round: re-relay the trigger
+  /// and assist the laggard with the retained message set.
+  void handle_fallback_stale(NodeId from, const Message& msg);
+  /// The fallback transition for an open round. Incomplete fast round:
+  /// flip to tracked mode, re-broadcast our message and relay everything
+  /// held over G_R (strictly before any round-r ⟨FAIL⟩ leaves — the
+  /// per-link FIFO discipline the tracking inferences rest on), then
+  /// replay the accumulated failure pairs against the fresh digraphs.
+  /// Complete fast round: keep the completion (the set is the full view
+  /// — the only set a fast round can decide) and assist.
+  void enter_fallback(RoundState& st);
+  /// Local fallback trigger (suspicion / timeout / FAIL for a fast
+  /// round): R-broadcast ⟨FALLBACK, r⟩, then run the transition.
+  void initiate_fallback(RoundState& st);
+  /// Re-relays the full message set of a fast-complete round over G_R
+  /// (once per trigger attempt) so fallen-back peers can terminate by
+  /// receipt.
+  void assist_fallback(RoundState& st);
+  /// Re-issues a stuck tracked round's transition traffic (held messages
+  /// then failure evidence) — the watchdog re-fire path.
+  void reflood_fallback(RoundState& st);
+  /// Sends one held round message as a ⟨BCAST⟩ over G_R.
+  void rebroadcast_reliable(Round round, NodeId origin_global,
+                            const Payload& payload, std::uint64_t bytes);
+  void retain_delivered(const RoundState& st, const RoundResult& result);
   void handle_fail(const Message& msg);
   void handle_fwdbwd(NodeId from, const Message& msg, RoundState& st);
   /// Records (p_j, p_k) in every open round ≥ `from_round` (suspicion
@@ -256,10 +390,13 @@ class Engine {
   bool departed_ = false;
   // Overlay neighbor lists of self (global ids), recomputed only when the
   // view object changes: the send fast path must not rebuild them per
-  // message.
+  // message. succs_/preds_ follow G_R; u_succs_ follows G_U (dual mode
+  // only, empty otherwise — G_U predecessors matter only to the FD,
+  // which the deployments wire via View::monitor_predecessors_of).
   const View* neighbors_view_ = nullptr;
   std::vector<NodeId> succs_;
   std::vector<NodeId> preds_;
+  std::vector<NodeId> u_succs_;
 
   // Requests buffered for the next own broadcast (§5 batching).
   std::vector<Request> pending_;
@@ -292,6 +429,10 @@ class Engine {
   std::vector<NodeId> epoch_absent_;  // accumulated removals (decision order)
   std::vector<NodeId> epoch_leaves_;  // accumulated voluntary leaves
   std::vector<NodeId> epoch_joined_;  // accumulated admissions
+
+  /// Delivered-round message sets kept for late ⟨FALLBACK⟩ assists (dual
+  /// mode only); ring of the last `window` rounds, entries recycled.
+  std::deque<RetainedRound> retained_;
 
   /// Messages ahead of the window, parked until their round opens.
   std::deque<std::pair<NodeId, Message>> future_;

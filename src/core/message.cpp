@@ -25,6 +25,29 @@ Message Message::bcast_sized(Round r, NodeId origin, std::uint64_t bytes) {
   return m;
 }
 
+Message Message::ubcast(Round r, NodeId origin, Payload p,
+                        std::uint64_t bytes) {
+  if (p) {
+    ALLCONCUR_ASSERT(p->size() == bytes, "payload size mismatch");
+  }
+  Message m;
+  m.type = MsgType::kUBcast;
+  m.round = r;
+  m.origin = origin;
+  m.payload_bytes = bytes;
+  m.payload = std::move(p);
+  return m;
+}
+
+Message Message::fallback(Round r, NodeId initiator, std::uint32_t attempt) {
+  Message m;
+  m.type = MsgType::kFallback;
+  m.round = r;
+  m.origin = initiator;
+  m.detector = attempt;
+  return m;
+}
+
 Message Message::fail(Round r, NodeId suspected, NodeId detector) {
   Message m;
   m.type = MsgType::kFail;
@@ -95,7 +118,7 @@ void encode_header(const Message& m, std::uint8_t* out) {
 std::optional<Message> decode_header(std::span<const std::uint8_t> bytes) {
   Message m;
   const auto raw_type = get<std::uint8_t>(bytes, 0);
-  if (raw_type < 1 || raw_type > 5) return std::nullopt;
+  if (raw_type < 1 || raw_type > 7) return std::nullopt;
   m.type = static_cast<MsgType>(raw_type);
   m.origin = get<std::uint32_t>(bytes, 4);
   m.detector = get<std::uint32_t>(bytes, 8);

@@ -19,11 +19,18 @@
 namespace allconcur::core {
 
 enum class MsgType : std::uint8_t {
-  kBroadcast = 1,  ///< ⟨BCAST, m⟩: A-broadcast message, relayed along G
+  kBroadcast = 1,  ///< ⟨BCAST, m⟩: A-broadcast message, relayed along G_R
   kFail = 2,       ///< ⟨FAIL, p_j, p_k⟩: p_k suspects its predecessor p_j
   kFwd = 3,        ///< ⟨FWD, p_i⟩: ⋄P surviving-partition probe along G
   kBwd = 4,        ///< ⟨BWD, p_i⟩: same along the transpose of G
   kHeartbeat = 5,  ///< FD heartbeat (not round-scoped)
+  /// Dual-digraph fast path (AllConcur+): an untracked broadcast relayed
+  /// along the unreliable overlay G_U. Identical payload semantics to
+  /// kBroadcast; carries no tracking obligations.
+  kUBcast = 6,
+  /// Dual-digraph fallback trigger: "re-execute round R reliably over
+  /// G_R". R-broadcast along G_R; origin is the initiating server.
+  kFallback = 7,
 };
 
 struct Message {
@@ -49,6 +56,16 @@ struct Message {
   static Message bcast(Round r, NodeId origin, Payload p);
   /// Size-only broadcast: carries no bytes but is charged for them.
   static Message bcast_sized(Round r, NodeId origin, std::uint64_t bytes);
+  /// Fast-path broadcast over G_U (dual-digraph mode); payload semantics
+  /// identical to bcast, p may be null with bytes > 0 for size-only load.
+  static Message ubcast(Round r, NodeId origin, Payload p,
+                        std::uint64_t bytes);
+  /// Fallback trigger for round r (dual-digraph mode). `attempt` rides in
+  /// the detector field: 0 for the initial trigger, incremented on every
+  /// watchdog re-fire so re-floods penetrate the receivers' per-round
+  /// dedup (a lost transition must be recoverable).
+  static Message fallback(Round r, NodeId initiator,
+                          std::uint32_t attempt = 0);
   static Message fail(Round r, NodeId suspected, NodeId detector);
   static Message fwd(Round r, NodeId origin);
   static Message bwd(Round r, NodeId origin);

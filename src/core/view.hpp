@@ -27,7 +27,11 @@ GraphBuilder make_default_graph_builder();
 class View {
  public:
   /// `members` need not be sorted; duplicates are asserted away.
-  View(std::vector<NodeId> members, const GraphBuilder& builder);
+  /// `fast_builder` (dual-digraph mode, AllConcur+) additionally builds
+  /// the unreliable overlay G_U over the same membership; pass an empty
+  /// function for the classic single-overlay view.
+  View(std::vector<NodeId> members, const GraphBuilder& builder,
+       const GraphBuilder& fast_builder = GraphBuilder());
 
   std::size_t size() const { return members_.size(); }
   const std::vector<NodeId>& members() const { return members_; }
@@ -36,21 +40,45 @@ class View {
   NodeId member(std::size_t rank) const;
   std::optional<std::size_t> rank_of(NodeId id) const;
 
-  /// Overlay digraph; vertex v of the digraph is rank v.
+  /// Reliable overlay digraph G_R; vertex v of the digraph is rank v.
   const graph::Digraph& overlay() const { return overlay_; }
 
-  /// Successors / predecessors of a member, as global ids.
+  /// True iff this view carries a paired unreliable overlay G_U.
+  bool has_fast_overlay() const { return fast_overlay_.order() > 0; }
+  /// Unreliable overlay G_U (dual-digraph mode only).
+  const graph::Digraph& fast_overlay() const { return fast_overlay_; }
+  /// Union overlay G_U ∪ G_R over ranks — the digraph message tracking
+  /// and failure monitoring must assume in dual mode (a message may have
+  /// travelled either graph). Equals overlay() without a fast overlay.
+  const graph::Digraph& monitor_overlay() const {
+    return has_fast_overlay() ? union_overlay_ : overlay_;
+  }
+
+  /// Successors / predecessors of a member in G_R, as global ids.
   std::vector<NodeId> successors_of(NodeId id) const;
   std::vector<NodeId> predecessors_of(NodeId id) const;
+  /// Same along G_U (dual-digraph mode only).
+  std::vector<NodeId> fast_successors_of(NodeId id) const;
+  std::vector<NodeId> fast_predecessors_of(NodeId id) const;
+  /// Neighbors along the monitor overlay: the links a failure detector
+  /// must watch and a dual-mode transport must maintain. Without a fast
+  /// overlay these are exactly successors_of / predecessors_of.
+  std::vector<NodeId> monitor_successors_of(NodeId id) const;
+  std::vector<NodeId> monitor_predecessors_of(NodeId id) const;
 
   /// Derives the next-round view: current minus `removed` plus `added`.
   View next(const std::vector<NodeId>& removed,
-            const std::vector<NodeId>& added,
-            const GraphBuilder& builder) const;
+            const std::vector<NodeId>& added, const GraphBuilder& builder,
+            const GraphBuilder& fast_builder = GraphBuilder()) const;
 
  private:
+  std::vector<NodeId> neighbors(const graph::Digraph& g, NodeId id,
+                                bool successors) const;
+
   std::vector<NodeId> members_;  // sorted
-  graph::Digraph overlay_;
+  graph::Digraph overlay_;       // G_R
+  graph::Digraph fast_overlay_;  // G_U (order 0 when absent)
+  graph::Digraph union_overlay_; // G_U ∪ G_R (order 0 when G_U absent)
 };
 
 }  // namespace allconcur::core

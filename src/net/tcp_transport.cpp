@@ -12,6 +12,7 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <thread>
@@ -68,8 +69,10 @@ TcpNode::TcpNode(TcpNodeOptions options, DeliverFn on_deliver)
   core::Engine::Options eopts;
   eopts.fd_mode = options_.fd_mode;
   eopts.window = options_.window;
+  eopts.fast_builder = options_.fast_builder;
   engine_ = std::make_unique<core::Engine>(
-      options_.self, core::View(options_.members, options_.builder),
+      options_.self,
+      core::View(options_.members, options_.builder, options_.fast_builder),
       options_.builder, hooks, eopts);
 
   if (options_.enable_heartbeats) {
@@ -80,9 +83,15 @@ TcpNode::TcpNode(TcpNodeOptions options, DeliverFn on_deliver)
     fd_hooks.suspect = [this](NodeId suspect) { engine_->on_suspect(suspect); };
     fd_ = std::make_unique<core::HeartbeatFd>(options_.self,
                                               options_.fd_params, fd_hooks);
-    fd_->set_peers(engine_->view().successors_of(options_.self),
-                   engine_->view().predecessors_of(options_.self),
+    // Dual mode monitors (and connects, see dial_successors) the union
+    // overlay G_U ∪ G_R; classic mode this is exactly G.
+    fd_->set_peers(engine_->view().monitor_successors_of(options_.self),
+                   engine_->view().monitor_predecessors_of(options_.self),
                    monotonic_now());
+  }
+  if (options_.fast_builder && options_.fallback_timeout > 0) {
+    watchdog_ =
+        std::make_unique<plus::FallbackTimer>(options_.fallback_timeout);
   }
 }
 
@@ -172,7 +181,10 @@ void TcpNode::dial(NodeId peer) {
 }
 
 void TcpNode::dial_successors() {
-  for (NodeId s : engine_->view().successors_of(options_.self)) {
+  // Dual mode dials two overlays' worth of links: fast rounds relay over
+  // G_U, fallback/tracking traffic over G_R (monitor_* is their union;
+  // classic mode it is exactly G's successor set).
+  for (NodeId s : engine_->view().monitor_successors_of(options_.self)) {
     dial(s);
   }
   connected_.store(true, std::memory_order_release);
@@ -218,8 +230,26 @@ void TcpNode::run() {
   while (!stop_.load(std::memory_order_acquire)) {
     // Commands may have been queued before the eventfd existed.
     drain_commands();
+    int wait_ms = 50;
+    if (options_.send_delay > 0) {
+      wait_ms = std::min(wait_ms, release_delayed(monotonic_now()));
+    }
+    if (watchdog_) {
+      // Poll the round watchdog once per wake; cap the sleep so a stall
+      // with no socket activity still fires the fallback promptly.
+      if (const auto stuck =
+              watchdog_->poll(engine_->current_round(),
+                              engine_->front_round_progress(),
+                              monotonic_now())) {
+        engine_->on_round_timeout(*stuck);
+      }
+      const int tick_ms =
+          static_cast<int>(std::max<DurationNs>(options_.fallback_timeout / 2,
+                                                ms(1)) / 1'000'000);
+      wait_ms = std::min(wait_ms, tick_ms);
+    }
     flush_dirty();
-    const int ready = epoll_wait(epoll_fd_, events, 64, 50);
+    const int ready = epoll_wait(epoll_fd_, events, 64, wait_ms);
     for (int i = 0; i < ready; ++i) {
       const int fd = events[i].data.fd;
       if (fd == listen_fd_) {
@@ -339,6 +369,29 @@ void TcpNode::parse_frames(Conn& conn) {
 }
 
 void TcpNode::queue_frame(NodeId dst, const core::FrameRef& frame) {
+  if (options_.send_delay > 0) {
+    // netem-style skew: park until now + delay; the event loop releases
+    // due frames each wake. Per-link FIFO is preserved — the delay is
+    // constant, so release order equals enqueue order.
+    delayed_.emplace_back(monotonic_now() + options_.send_delay, dst, frame);
+    return;
+  }
+  queue_frame_now(dst, frame);
+}
+
+int TcpNode::release_delayed(TimeNs now) {
+  while (!delayed_.empty() && std::get<0>(delayed_.front()) <= now) {
+    const auto& [when, dst, frame] = delayed_.front();
+    queue_frame_now(dst, frame);
+    delayed_.pop_front();
+  }
+  if (delayed_.empty()) return 50;
+  const TimeNs next = std::get<0>(delayed_.front()) - now;
+  // Round up so we do not spin on a sub-millisecond residue.
+  return static_cast<int>(std::min<TimeNs>(50, (next + 999'999) / 1'000'000 + 1));
+}
+
+void TcpNode::queue_frame_now(NodeId dst, const core::FrameRef& frame) {
   const auto it = out_by_peer_.find(dst);
   if (it == out_by_peer_.end()) return;  // peer gone (crashed / removed)
   const auto conn_it = conns_.find(it->second);

@@ -26,10 +26,12 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <tuple>
 #include <vector>
 
 #include "core/engine.hpp"
 #include "core/failure_detector.hpp"
+#include "plus/fallback_timer.hpp"
 
 namespace allconcur::net {
 
@@ -42,6 +44,21 @@ struct TcpNodeOptions {
   /// Round-pipelining window W: up to W consecutive rounds in flight
   /// (1 = classic stop-and-wait iteration).
   std::size_t window = 1;
+  /// Dual-digraph fast path (AllConcur+): builder for the unreliable
+  /// overlay G_U. The node then dials/accepts both overlays' links
+  /// (connections follow G_U ∪ G_R) and runs failure-free rounds
+  /// untracked over G_U. Empty = classic mode.
+  core::GraphBuilder fast_builder;
+  /// Dual mode round watchdog: an armed round stuck longer than this on
+  /// the monotonic clock triggers the fallback transition. 0 disables.
+  DurationNs fallback_timeout = 0;
+  /// netem-style induced skew, mirroring SimCluster::set_send_delay:
+  /// every outbound frame of this node (protocol and heartbeats alike)
+  /// is held back this long before it is flushed to the socket. Lets the
+  /// real-socket legs of bench/round_pipeline and bench/dual_digraph
+  /// reproduce the convoy/fallback claims on actual TCP instead of
+  /// relying on scheduler noise. 0 = no delay.
+  DurationNs send_delay = 0;
   bool enable_heartbeats = true;
   core::HeartbeatFd::Params fd_params{.period = ms(25), .timeout = ms(250),
                                       .adaptive = false,
@@ -128,7 +145,13 @@ class TcpNode {
   void on_readable(int fd);
   void on_writable(int fd);
   void parse_frames(Conn& conn);
+  /// Engine/FD send hook: applies the send_delay knob, then queues.
   void queue_frame(NodeId dst, const core::FrameRef& frame);
+  /// Queues a frame on its connection for the end-of-wake flush.
+  void queue_frame_now(NodeId dst, const core::FrameRef& frame);
+  /// Moves delay-parked frames whose release time passed to their
+  /// connections; returns the epoll timeout (ms) until the next release.
+  int release_delayed(TimeNs now);
   /// Vectored flush of everything queued; returns false on a hard socket
   /// error (caller must close_conn).
   bool flush(Conn& conn);
@@ -143,6 +166,11 @@ class TcpNode {
   DeliverFn on_deliver_;
   std::unique_ptr<core::Engine> engine_;
   std::unique_ptr<core::HeartbeatFd> fd_;
+  /// Dual mode: round watchdog polled once per event-loop wake.
+  std::unique_ptr<plus::FallbackTimer> watchdog_;
+  /// send_delay knob: frames parked until their release time (monotonic
+  /// ns). Release times are monotone (constant delay), so a deque works.
+  std::deque<std::tuple<TimeNs, NodeId, core::FrameRef>> delayed_;
 
   int epoll_fd_ = -1;
   int listen_fd_ = -1;

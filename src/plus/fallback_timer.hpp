@@ -1,0 +1,68 @@
+// Deployment-agnostic round watchdog for the dual-digraph fast path.
+//
+// A fast round has no tracking, so a missing message produces no local
+// evidence — only silence. The watchdog turns silence into the fallback
+// transition: when the engine's in-progress round has been armed (own
+// broadcast out, or any message received) and unchanged for longer than
+// the timeout, poll() returns the round to hand to
+// Engine::on_round_timeout(). Both deployments drive it — SimCluster from
+// a scheduled tick on virtual time, TcpNode from its event-loop wake on
+// the monotonic clock — so the stall-detection policy lives in exactly
+// one place.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace allconcur::plus {
+
+class FallbackTimer {
+ public:
+  /// `timeout` <= 0 disables the watchdog (poll never fires).
+  explicit FallbackTimer(DurationNs timeout) : timeout_(timeout) {}
+
+  DurationNs timeout() const { return timeout_; }
+
+  /// Reports the engine's current state; returns the round to time out
+  /// when it has been stuck-and-armed past the timeout with no progress.
+  /// `progress` is the round's monotone activity counter
+  /// (Engine::front_round_progress): 0 means unarmed (an idle round is
+  /// merely quiet — the deadline starts counting only once the round
+  /// arms), and any movement re-arms the deadline, so a legitimately
+  /// slow round with traffic still flowing is not timed out. After
+  /// firing the deadline re-arms, so a round that stays stuck (e.g. the
+  /// fallback traffic itself was lost) fires again a full timeout later
+  /// — the engine re-floods the transition on such re-fires.
+  std::optional<Round> poll(Round current, std::size_t progress,
+                            TimeNs now) {
+    if (timeout_ <= 0) return std::nullopt;
+    if (current != watched_ || !started_) {
+      watched_ = current;
+      progress_ = progress;
+      since_ = now;
+      started_ = true;
+      return std::nullopt;
+    }
+    if (progress == 0 || progress != progress_) {
+      progress_ = progress;
+      since_ = now;
+      return std::nullopt;
+    }
+    if (now - since_ < timeout_) return std::nullopt;
+    since_ = now;  // re-arm
+    return watched_;
+  }
+
+  void reset() { started_ = false; }
+
+ private:
+  DurationNs timeout_;
+  Round watched_ = 0;
+  std::size_t progress_ = 0;
+  TimeNs since_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace allconcur::plus

@@ -38,8 +38,11 @@ class LoopbackCluster {
       hooks.deliver = [this, id](const RoundResult& r) {
         delivered_[id].push_back(r);
       };
+      // options.fast_builder (dual-digraph mode) flows into the View so
+      // the paired G_U overlay exists for the engines.
       engines_.push_back(std::make_unique<Engine>(
-          id, core::View(members, builder_), builder_, hooks, options));
+          id, core::View(members, builder_, options.fast_builder), builder_,
+          hooks, options));
     }
   }
 
@@ -63,12 +66,14 @@ class LoopbackCluster {
     return it != crashed_.end() && it->second;
   }
 
-  /// Makes all live successors of `id` (in `id`'s current view) suspect it.
+  /// Makes all live successors of `id` (in `id`'s current view) suspect
+  /// it — successors along the monitor overlay, so dual-mode clusters
+  /// behave like their FD (which watches G_U ∪ G_R) would.
   void suspect_everywhere(NodeId id) {
     for (const auto& e : engines_) {
       if (is_crashed(e->self()) || e->self() == id) continue;
       if (!e->view().contains(id)) continue;
-      for (NodeId pred : e->view().predecessors_of(e->self())) {
+      for (NodeId pred : e->view().monitor_predecessors_of(e->self())) {
         if (pred == id) {
           e->on_suspect(id);
           break;
