@@ -1,6 +1,7 @@
 #include "api/sim_cluster.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "common/assert.hpp"
 
@@ -22,6 +23,16 @@ SimCluster::SimCluster(ClusterOptions options)
   ALLCONCUR_ASSERT(options_.n >= 1, "cluster needs at least one node");
   ALLCONCUR_ASSERT(options_.window >= 1, "window must be at least 1");
   nodes_.resize(options_.n + options_.max_joins);
+
+  if (options_.chaos) {
+    // The scenario timeline runs on virtual time; pin its epoch to t = 0
+    // so test scenarios can name absolute sim times.
+    options_.chaos->set_epoch(sim_.now());
+    model_.set_fault_hook([chaos = options_.chaos](NodeId src, NodeId dst,
+                                                   TimeNs now) {
+      return chaos->on_frame(src, dst, now);
+    });
+  }
 
   std::vector<NodeId> members(options_.n);
   for (std::size_t i = 0; i < options_.n; ++i) {
@@ -58,8 +69,8 @@ void SimCluster::create_node(NodeId id, View view, Round start_round) {
                                           start_round);
   nodes_[id] = std::move(node);
   if (options_.fast_builder && options_.fallback_timeout > 0) {
-    nodes_[id]->watchdog =
-        std::make_unique<plus::FallbackTimer>(options_.fallback_timeout);
+    nodes_[id]->watchdog = std::make_unique<plus::FallbackTimer>(
+        options_.fallback_timeout, options_.fallback_max_round_age);
     schedule_watchdog_tick(id);
   }
 }
@@ -173,6 +184,10 @@ void SimCluster::handle_send(NodeId src, NodeId dst, const FrameRef& frame) {
     --sender.sends_left;
   }
   if (link_filter_ && link_filter_(src, dst)) return;  // partitioned link
+  // Chaos verdict: drawn once per frame on the send path, exactly where
+  // the TCP transport's interposition draws it.
+  const chaos::Action act = model_.shape(src, dst, sim_.now());
+  if (act.drop) return;
   const Message& msg = frame->msg();
   // Record the instant a node A-broadcasts its own message (used by the
   // latency harnesses as the round start at that node).
@@ -185,16 +200,49 @@ void SimCluster::handle_send(NodeId src, NodeId dst, const FrameRef& frame) {
   // refcounted handle travels through the event queue.
   const TimeNs done =
       model_.sender_done(src, dst, frame->wire_size(), sim_.now());
-  // Induced per-node skew: a slow sender's traffic arrives late.
-  const TimeNs arrive = model_.arrival(done) + send_delay_[src];
-  sim_.schedule_at(arrive, [this, src, dst, frame] {
+  // Induced per-node skew and chaos jitter: the frame arrives late.
+  const TimeNs arrive = model_.arrival(done) + send_delay_[src] + act.delay;
+  schedule_arrival(src, dst, frame, arrive, act.corrupt, act.corrupt_at);
+  if (act.duplicate) {
+    // The duplicate travels unmodified a little behind the original
+    // (a corrupted original still has a healthy twin, and receiver dedup
+    // gets exercised either way).
+    schedule_arrival(src, dst, frame, arrive + model_.params().latency / 2,
+                     /*corrupt=*/false, 0);
+  }
+}
+
+void SimCluster::schedule_arrival(NodeId src, NodeId dst,
+                                  const FrameRef& frame, TimeNs arrive,
+                                  bool corrupt, std::uint64_t corrupt_at) {
+  sim_.schedule_at(arrive, [this, src, dst, frame, corrupt, corrupt_at] {
     const TimeNs handed =
         model_.receiver_done(dst, frame->wire_size(), sim_.now());
-    sim_.schedule_at(handed, [this, src, dst, frame] {
+    sim_.schedule_at(handed, [this, src, dst, frame, corrupt, corrupt_at] {
       Node* node = nodes_[dst].get();
       if (!node || node->crashed) return;
       if (!node->active) {
         node->preactivation.emplace_back(src, frame);
+        return;
+      }
+      if (corrupt) {
+        // Injected corruption travels as real damaged wire bytes: re-parse
+        // them like a transport would. The frame checksum must catch the
+        // flip — a decode that succeeds anyway is silent corruption,
+        // counted separately so the chaos gate can assert it never happens.
+        const auto tainted = core::Frame::corrupt_copy(*frame, corrupt_at);
+        const auto bytes = tainted->to_bytes();
+        const auto parsed = core::decode(
+            std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+        if (!parsed) {
+          ++chaos_corrupt_dropped_;
+          return;
+        }
+        ++chaos_corrupt_delivered_;
+        if (node->fd) node->fd->on_heartbeat(src, sim_.now());
+        if (parsed->type != MsgType::kHeartbeat) {
+          node->engine->on_message(src, *parsed);
+        }
         return;
       }
       if (node->fd) node->fd->on_heartbeat(src, sim_.now());
@@ -390,6 +438,7 @@ core::EngineStats SimCluster::aggregate_stats() const {
     total.dropped_foreign += s.dropped_foreign;
     total.dropped_lost += s.dropped_lost;
     total.dropped_ahead += s.dropped_ahead;
+    total.parked_duplicates += s.parked_duplicates;
     total.rounds_completed += s.rounds_completed;
   }
   return total;

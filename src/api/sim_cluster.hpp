@@ -13,6 +13,7 @@
 #include <optional>
 #include <vector>
 
+#include "chaos/scenario.hpp"
 #include "core/engine.hpp"
 #include "core/failure_detector.hpp"
 #include "plus/fallback_timer.hpp"
@@ -52,6 +53,18 @@ struct ClusterOptions {
   bool heartbeat_fd = false;
   core::HeartbeatFd::Params fd_params;
   DurationNs detection_delay = ms(100);
+
+  /// Adversarial fault injection: a seeded chaos::ScenarioEngine consulted
+  /// once per frame on the send path (through the fabric's fault hook).
+  /// Dropped frames vanish, duplicates arrive twice, corrupted frames
+  /// travel as damaged wire bytes (the frame checksum must catch them),
+  /// and delays add to the fabric's arrival time. Null = no injection.
+  chaos::ScenarioEngineRef chaos;
+
+  /// Dual mode: caps how long per-frame progress can re-arm the round
+  /// watchdog (see plus::FallbackTimer). 0 = the default 8x
+  /// fallback_timeout; < 0 disables the cap.
+  DurationNs fallback_max_round_age = 0;
 
   /// Extra engine slots reserved for joins (ids n, n+1, ...).
   std::size_t max_joins = 16;
@@ -138,6 +151,14 @@ class SimCluster {
   /// Aggregate engine statistics over live nodes.
   core::EngineStats aggregate_stats() const;
 
+  /// Chaos-corrupted frames the receive path detected (checksum mismatch)
+  /// and dropped. With ClusterOptions::chaos set, every injected
+  /// corruption must land here...
+  std::uint64_t corrupt_dropped() const { return chaos_corrupt_dropped_; }
+  /// ...and never here: corrupted frames that still decoded — silent
+  /// corruption. The chaos suites assert this stays zero.
+  std::uint64_t corrupt_delivered() const { return chaos_corrupt_delivered_; }
+
  private:
   struct Node {
     std::unique_ptr<core::Engine> engine;
@@ -162,6 +183,10 @@ class SimCluster {
   /// charges frame->wire_size() and the destination reads the decoded form
   /// through frame->msg() — nothing is copied anywhere along the path.
   void handle_send(NodeId src, NodeId dst, const core::FrameRef& frame);
+  /// Schedules one physical delivery of `frame` at `arrive`; a corrupt
+  /// delivery re-parses the damaged wire bytes like a transport would.
+  void schedule_arrival(NodeId src, NodeId dst, const core::FrameRef& frame,
+                        TimeNs arrive, bool corrupt, std::uint64_t corrupt_at);
   void handle_delivery(NodeId id, const core::RoundResult& result);
   void schedule_fd_tick(NodeId id);
   void schedule_watchdog_tick(NodeId id);
@@ -172,6 +197,8 @@ class SimCluster {
   std::vector<std::unique_ptr<Node>> nodes_;  // indexed by NodeId
   std::vector<DurationNs> send_delay_;        // induced skew, by NodeId
   NodeId next_join_id_;
+  std::uint64_t chaos_corrupt_dropped_ = 0;
+  std::uint64_t chaos_corrupt_delivered_ = 0;
 };
 
 }  // namespace allconcur::api

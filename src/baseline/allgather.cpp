@@ -7,11 +7,12 @@
 
 #include "common/assert.hpp"
 #include "common/math.hpp"
+#include "core/message.hpp"
 
 namespace allconcur::baseline {
 namespace {
 
-constexpr std::size_t kHeaderBytes = 24;  // same framing as the protocol
+constexpr std::size_t kHeaderBytes = core::Message::kHeaderBytes;  // same framing as the protocol
 
 struct Block {
   std::size_t round;

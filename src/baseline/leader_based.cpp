@@ -6,11 +6,12 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "core/message.hpp"
 
 namespace allconcur::baseline {
 namespace {
 
-constexpr std::size_t kHeaderBytes = 24;
+constexpr std::size_t kHeaderBytes = core::Message::kHeaderBytes;
 constexpr std::size_t kAckBytes = kHeaderBytes;  // acks carry no payload
 
 // Node layout: servers 0..n-1; replicas n..n+g-1 (leader = n).

@@ -1,0 +1,181 @@
+#include "chaos/scenario.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace allconcur::chaos {
+
+Scenario& Scenario::add(Phase p) {
+  ALLCONCUR_ASSERT(p.from < p.until, "phase interval must be non-empty");
+  phases_.push_back(std::move(p));
+  return *this;
+}
+
+Scenario& Scenario::partition(TimeNs from, TimeNs until,
+                              std::vector<NodeId> group) {
+  Phase p;
+  p.kind = Phase::Kind::kPartition;
+  p.from = from;
+  p.until = until;
+  p.group = std::move(group);
+  return add(std::move(p));
+}
+
+Scenario& Scenario::link_down(TimeNs from, TimeNs until, NodeId src,
+                              NodeId dst) {
+  Phase p;
+  p.kind = Phase::Kind::kLinkDown;
+  p.from = from;
+  p.until = until;
+  p.src = src;
+  p.dst = dst;
+  return add(std::move(p));
+}
+
+Scenario& Scenario::flap_link(TimeNs from, TimeNs until, NodeId src,
+                              NodeId dst, DurationNs period) {
+  ALLCONCUR_ASSERT(period > 1, "flap period must span at least 2 ns");
+  Phase p;
+  p.kind = Phase::Kind::kFlap;
+  p.from = from;
+  p.until = until;
+  p.src = src;
+  p.dst = dst;
+  p.period = period;
+  return add(std::move(p));
+}
+
+Scenario& Scenario::gray(TimeNs from, TimeNs until, NodeId node,
+                         DurationNs slowdown, double drop) {
+  Phase p;
+  p.kind = Phase::Kind::kGray;
+  p.from = from;
+  p.until = until;
+  p.src = node;
+  p.slowdown = slowdown;
+  p.faults.drop = drop;
+  return add(std::move(p));
+}
+
+Scenario& Scenario::faults(TimeNs from, TimeNs until, LinkFaults f) {
+  Phase p;
+  p.kind = Phase::Kind::kFaults;
+  p.from = from;
+  p.until = until;
+  p.faults = f;
+  return add(std::move(p));
+}
+
+Scenario& Scenario::link_faults(TimeNs from, TimeNs until, NodeId src,
+                                NodeId dst, LinkFaults f) {
+  Phase p;
+  p.kind = Phase::Kind::kFaults;
+  p.from = from;
+  p.until = until;
+  p.src = src;
+  p.dst = dst;
+  p.faults = f;
+  return add(std::move(p));
+}
+
+ScenarioEngine::ScenarioEngine(Scenario scenario)
+    : scenario_(std::move(scenario)) {}
+
+void ScenarioEngine::set_epoch(TimeNs t0) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  epoch_ = t0;
+}
+
+Rng& ScenarioEngine::link_rng(NodeId src, NodeId dst) {
+  const auto key = std::make_pair(src, dst);
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    // Independent per-link stream derived from (seed, src, dst): a frame's
+    // draws depend only on its link and its position in that link's
+    // sequence, never on global interleaving.
+    const std::uint64_t mix =
+        scenario_.seed() ^
+        (static_cast<std::uint64_t>(src) + 1) * 0x9e3779b97f4a7c15ull ^
+        (static_cast<std::uint64_t>(dst) + 1) * 0xc2b2ae3d27d4eb4full;
+    it = links_.emplace(key, Rng(mix)).first;
+  }
+  return it->second;
+}
+
+Action ScenarioEngine::on_frame(NodeId src, NodeId dst, TimeNs now) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!epoch_) epoch_ = now;
+  const TimeNs t = now - *epoch_;
+  ++stats_.frames_seen;
+
+  Action a;
+  for (const auto& ph : scenario_.phases()) {
+    if (t < ph.from || t >= ph.until) continue;
+    switch (ph.kind) {
+      case Scenario::Phase::Kind::kPartition: {
+        const bool src_in = std::find(ph.group.begin(), ph.group.end(),
+                                      src) != ph.group.end();
+        const bool dst_in = std::find(ph.group.begin(), ph.group.end(),
+                                      dst) != ph.group.end();
+        if (src_in != dst_in) a.drop = true;
+        break;
+      }
+      case Scenario::Phase::Kind::kLinkDown:
+        if (ph.src == src && ph.dst == dst) a.drop = true;
+        break;
+      case Scenario::Phase::Kind::kFlap:
+        if (ph.src == src && ph.dst == dst &&
+            (t - ph.from) % ph.period < ph.period / 2) {
+          a.drop = true;
+        }
+        break;
+      case Scenario::Phase::Kind::kGray:
+        if (ph.src == src) {
+          a.delay += ph.slowdown;
+          if (ph.faults.drop > 0 &&
+              link_rng(src, dst).next_double() < ph.faults.drop) {
+            a.drop = true;
+          }
+        }
+        break;
+      case Scenario::Phase::Kind::kFaults: {
+        if (ph.src != kInvalidNode && ph.src != src) break;
+        if (ph.dst != kInvalidNode && ph.dst != dst) break;
+        Rng& rng = link_rng(src, dst);
+        const LinkFaults& f = ph.faults;
+        // Fixed draw order per active phase keeps the stream aligned
+        // between any two engines fed the same frame sequence.
+        if (f.drop > 0 && rng.next_double() < f.drop) a.drop = true;
+        if (f.duplicate > 0 && rng.next_double() < f.duplicate) {
+          a.duplicate = true;
+        }
+        if (f.corrupt > 0 && rng.next_double() < f.corrupt) {
+          a.corrupt = true;
+          a.corrupt_at = rng.next_u64();
+        }
+        if (f.reorder > 0 && rng.next_double() < f.reorder) {
+          a.delay += static_cast<DurationNs>(rng.next_below(
+              static_cast<std::uint64_t>(f.reorder_jitter) + 1));
+        }
+        break;
+      }
+    }
+  }
+
+  if (a.drop) {
+    ++stats_.dropped;
+  } else {
+    if (a.duplicate) ++stats_.duplicated;
+    if (a.corrupt) ++stats_.corrupted;
+    if (a.delay > 0) ++stats_.delayed;
+  }
+  return a;
+}
+
+InjectionStats ScenarioEngine::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace allconcur::chaos

@@ -387,12 +387,25 @@ void Engine::park_future(NodeId from, const Message& msg) {
   // to base+2W-1 is parked for replay once the window advances (replays
   // that park again are not recounted). Farther-future traffic means we
   // were evicted — drop it, the harness decides on rejoin.
+  const bool parkable = msg.round < base_round_ + 2 * options_.window;
+  if (parkable) {
+    // A duplicated frame (chaos duplication, link retries) must neither
+    // re-count dropped_ahead nor park twice — a double park would replay
+    // the message twice after the window advances and grow future_
+    // unboundedly under sustained duplication.
+    for (const auto& [pfrom, pmsg] : future_) {
+      if (pfrom == from && pmsg.round == msg.round &&
+          pmsg.type == msg.type && pmsg.origin == msg.origin &&
+          pmsg.detector == msg.detector) {
+        ++stats_.parked_duplicates;
+        return;
+      }
+    }
+  }
   if (!replaying_ && msg.round >= base_round_ + options_.window) {
     ++stats_.dropped_ahead;
   }
-  if (msg.round < base_round_ + 2 * options_.window) {
-    future_.emplace_back(from, msg);
-  }
+  if (parkable) future_.emplace_back(from, msg);
 }
 
 void Engine::replay_parked() {

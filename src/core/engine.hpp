@@ -130,6 +130,9 @@ struct EngineStats {
   /// means we were evicted and is discarded (the harness decides on
   /// rejoin). Before pipelining these were silently discarded.
   std::uint64_t dropped_ahead = 0;
+  /// Identical ahead-of-window frames suppressed at the park (duplicated
+  /// wire traffic): parked once, counted once, replayed once.
+  std::uint64_t parked_duplicates = 0;
   std::uint64_t rounds_completed = 0;
 };
 

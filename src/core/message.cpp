@@ -82,14 +82,19 @@ Message Message::heartbeat(NodeId origin) {
 
 namespace {
 
-// Little-endian header layout (24 bytes):
+// Little-endian header layout (32 bytes):
 //   [0]  u8  type
 //   [1]  u8  reserved
-//   [2]  u16 reserved
+//   [2]  u16 magic (Message::kFrameMagic)
 //   [4]  u32 origin
 //   [8]  u32 detector
 //   [12] u32 payload length
 //   [16] u64 round
+//   [24] u32 FNV-1a checksum over the payload bytes
+//   [28] u32 FNV-1a checksum over header bytes [0, 28)
+// The header checksum seals the length field, so a parser never waits on
+// a corrupted length; the payload checksum then guards the body without
+// re-reading the header.
 template <typename T>
 void put(std::uint8_t* out, std::size_t offset, T value) {
   std::memcpy(out + offset, &value, sizeof(T));
@@ -102,29 +107,113 @@ T get(std::span<const std::uint8_t> in, std::size_t offset) {
   return value;
 }
 
+constexpr std::uint32_t kFnvOffset = 2166136261u;
+constexpr std::uint32_t kFnvPrime = 16777619u;
+
+std::uint32_t fnv1a(std::uint32_t h, const std::uint8_t* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// FNV-1a over `count` zero bytes: each step is h = (h ^ 0) * prime, so the
+/// whole run folds to h * prime^count — O(log count) by binary
+/// exponentiation. Size-only payloads (throughput benches) are hashed
+/// without ever materializing their bytes.
+std::uint32_t fnv1a_zeros(std::uint32_t h, std::uint64_t count) {
+  std::uint32_t mult = 1;
+  std::uint32_t base = kFnvPrime;
+  while (count > 0) {
+    if (count & 1) mult *= base;
+    base *= base;
+    count >>= 1;
+  }
+  return h * mult;
+}
+
+/// Checksum of the message's payload, which may be shared bytes or a
+/// declared-length zero run (size-only).
+std::uint32_t payload_checksum(const Payload& payload,
+                               std::uint64_t payload_bytes) {
+  if (payload && !payload->empty()) {
+    return fnv1a(kFnvOffset, payload->data(), payload->size());
+  }
+  return fnv1a_zeros(kFnvOffset, payload_bytes);
+}
+
 void encode_header(const Message& m, std::uint8_t* out) {
   ALLCONCUR_ASSERT(m.payload_bytes <= Message::kMaxPayloadBytes,
                    "payload exceeds the 32-bit wire length field");
   put<std::uint8_t>(out, 0, static_cast<std::uint8_t>(m.type));
   put<std::uint8_t>(out, 1, 0);
-  put<std::uint16_t>(out, 2, 0);
+  put<std::uint16_t>(out, 2, Message::kFrameMagic);
   put<std::uint32_t>(out, 4, m.origin);
   put<std::uint32_t>(out, 8, m.detector);
   put<std::uint32_t>(out, 12, static_cast<std::uint32_t>(m.payload_bytes));
   put<std::uint64_t>(out, 16, m.round);
+  put<std::uint32_t>(out, Message::kPayloadSumOffset,
+                     payload_checksum(m.payload, m.payload_bytes));
+  put<std::uint32_t>(out, Message::kHeaderSumOffset,
+                     fnv1a(kFnvOffset, out, Message::kHeaderSumOffset));
 }
 
-/// Parses header fields only; nullopt on an unknown type tag.
+/// Parses header fields only; nullopt on an unknown type tag or a missing
+/// framing magic.
 std::optional<Message> decode_header(std::span<const std::uint8_t> bytes) {
   Message m;
   const auto raw_type = get<std::uint8_t>(bytes, 0);
   if (raw_type < 1 || raw_type > 7) return std::nullopt;
+  if (get<std::uint16_t>(bytes, 2) != Message::kFrameMagic) return std::nullopt;
   m.type = static_cast<MsgType>(raw_type);
   m.origin = get<std::uint32_t>(bytes, 4);
   m.detector = get<std::uint32_t>(bytes, 8);
   m.payload_bytes = get<std::uint32_t>(bytes, 12);
   m.round = get<std::uint64_t>(bytes, 16);
   return m;
+}
+
+/// Is `bytes` (>= kHeaderBytes) a verified frame header? Cheap field
+/// rejects first, then the header checksum — which seals the length field,
+/// so a parser that accepts this header may safely wait for (or skip)
+/// exactly the declared payload.
+bool header_plausible(std::span<const std::uint8_t> bytes) {
+  const auto raw_type = get<std::uint8_t>(bytes, 0);
+  if (raw_type < 1 || raw_type > 7) return false;
+  if (get<std::uint16_t>(bytes, 2) != Message::kFrameMagic) return false;
+  if (get<std::uint32_t>(bytes, 12) > kMaxStreamPayloadBytes) return false;
+  return fnv1a(kFnvOffset, bytes.data(), Message::kHeaderSumOffset) ==
+         get<std::uint32_t>(bytes, Message::kHeaderSumOffset);
+}
+
+/// Same test on an incomplete header tail: checks only the fields that
+/// have arrived, so a genuine frame split across reads is never discarded.
+bool header_prefix_plausible(std::span<const std::uint8_t> bytes) {
+  if (!bytes.empty() && (bytes[0] < 1 || bytes[0] > 7)) return false;
+  if (bytes.size() >= 4 &&
+      get<std::uint16_t>(bytes, 2) != Message::kFrameMagic) {
+    return false;
+  }
+  if (bytes.size() >= 16 &&
+      get<std::uint32_t>(bytes, 12) > kMaxStreamPayloadBytes) {
+    return false;
+  }
+  return true;
+}
+
+/// Scans forward from `from` for the next offset that could start a frame
+/// (full header plausible, or a plausible prefix at the buffer tail).
+std::size_t resync_scan(std::span<const std::uint8_t> buf, std::size_t from) {
+  for (std::size_t p = from; p < buf.size(); ++p) {
+    const std::size_t avail = buf.size() - p;
+    if (avail >= Message::kHeaderBytes) {
+      if (header_plausible({buf.data() + p, Message::kHeaderBytes})) return p;
+    } else {
+      if (header_prefix_plausible({buf.data() + p, avail})) return p;
+    }
+  }
+  return buf.size();
 }
 
 }  // namespace
@@ -147,6 +236,25 @@ const Payload& Frame::wire_payload() const {
         std::vector<std::uint8_t>(msg_.payload_bytes, 0));
   }
   return wire_payload_;
+}
+
+FrameRef Frame::corrupt_copy(const Frame& f, std::uint64_t index) {
+  auto copy = std::make_shared<Frame>(MakeTag{});
+  copy->msg_ = f.msg_;
+  copy->header_ = f.header_;
+  const std::size_t at =
+      static_cast<std::size_t>(index % static_cast<std::uint64_t>(f.wire_size()));
+  if (at < Message::kHeaderBytes) {
+    copy->header_[at] ^= 0xff;
+    return copy;
+  }
+  // Payload flip needs private bytes — the original payload is shared with
+  // every other successor's queue (size-only payloads materialize here).
+  const Payload& src = f.wire_payload();
+  auto bytes = std::make_shared<std::vector<std::uint8_t>>(*src);
+  (*bytes)[at - Message::kHeaderBytes] ^= 0xff;
+  copy->msg_.payload = std::move(bytes);
+  return copy;
 }
 
 std::vector<std::uint8_t> Frame::to_bytes() const {
@@ -186,6 +294,15 @@ std::optional<Message> decode(std::span<const std::uint8_t> bytes) {
   if (!frame || bytes.size() < *frame) return std::nullopt;
   auto m = decode_header(bytes);
   if (!m) return std::nullopt;
+  if (fnv1a(kFnvOffset, bytes.data(), Message::kHeaderSumOffset) !=
+      get<std::uint32_t>(bytes, Message::kHeaderSumOffset)) {
+    return std::nullopt;  // torn header: none of the fields are trustworthy
+  }
+  const std::uint32_t body = fnv1a(
+      kFnvOffset, bytes.data() + Message::kHeaderBytes, m->payload_bytes);
+  if (body != get<std::uint32_t>(bytes, Message::kPayloadSumOffset)) {
+    return std::nullopt;  // corrupted payload: never deliver it
+  }
   if (m->payload_bytes > 0) {
     m->payload = make_payload(std::vector<std::uint8_t>(
         bytes.begin() + Message::kHeaderBytes,
@@ -203,6 +320,46 @@ std::optional<Message> decode(const Frame& frame) {
     m->payload = p;  // borrow: shares the frame's bytes, no copy
   }
   return m;
+}
+
+std::size_t parse_stream(std::span<const std::uint8_t> buf, std::size_t start,
+                         StreamStats& stats,
+                         const std::function<void(const Message&)>& sink) {
+  std::size_t at = start;
+  while (at < buf.size()) {
+    const std::size_t avail = buf.size() - at;
+    if (avail < Message::kHeaderBytes) {
+      // Incomplete header: keep a consistent prefix for the next read,
+      // skip garbage now.
+      if (header_prefix_plausible({buf.data() + at, avail})) break;
+      ++stats.corrupt_drops;
+      ++stats.resyncs;
+      at = resync_scan(buf, at + 1);
+      continue;
+    }
+    if (!header_plausible({buf.data() + at, Message::kHeaderBytes})) {
+      ++stats.corrupt_drops;
+      ++stats.resyncs;
+      at = resync_scan(buf, at + 1);
+      continue;
+    }
+    const std::size_t need =
+        Message::kHeaderBytes + get<std::uint32_t>({buf.data() + at, avail}, 12);
+    if (avail < need) break;  // header verified: safe to wait for the rest
+    const auto msg = decode(std::span(buf.data() + at, need));
+    if (!msg) {
+      // The header checksum already passed, so this is payload corruption
+      // and the declared frame boundary is trustworthy: drop the frame and
+      // step over exactly its bytes — no resync scan needed.
+      ++stats.corrupt_drops;
+      at += need;
+      continue;
+    }
+    ++stats.frames;
+    sink(*msg);
+    at += need;
+  }
+  return at;
 }
 
 }  // namespace allconcur::core

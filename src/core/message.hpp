@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -46,8 +47,24 @@ struct Message {
   Payload payload;
   std::uint64_t payload_bytes = 0;
 
-  /// Serialized header size (see message.cpp for the layout).
-  static constexpr std::size_t kHeaderBytes = 24;
+  /// Serialized header size (see message.cpp for the layout). The header
+  /// ends with two 32-bit FNV-1a checksums: one over the payload bytes and
+  /// one over the header itself. Splitting them lets a stream parser
+  /// validate the length field *before* waiting for the payload — a
+  /// corrupted length can otherwise stall a connection indefinitely — and
+  /// lets a payload-corrupt frame be skipped by its (now trusted) declared
+  /// length instead of a blind resync scan.
+  static constexpr std::size_t kHeaderBytes = 32;
+  /// Offset of the payload checksum (FNV-1a over the payload bytes; the
+  /// FNV offset basis when the frame carries none).
+  static constexpr std::size_t kPayloadSumOffset = 24;
+  /// Offset of the header checksum; also the number of header bytes it
+  /// covers (everything before it, payload checksum included).
+  static constexpr std::size_t kHeaderSumOffset = 28;
+  /// Framing magic at header offset 2. Besides rejecting foreign traffic,
+  /// it is the anchor the stream parser scans for when resynchronizing
+  /// after a torn frame.
+  static constexpr std::uint16_t kFrameMagic = 0xAC17;
   /// Wire limit: the payload length field is 32 bits. encode() asserts
   /// this rather than silently truncating the frame length.
   static constexpr std::uint64_t kMaxPayloadBytes = 0xffffffffull;
@@ -113,6 +130,11 @@ class Frame {
   /// Contiguous copy of the whole frame (tests and non-vectored callers).
   std::vector<std::uint8_t> to_bytes() const;
 
+  /// Chaos-injection helper: a deep copy of `f` with the wire byte at
+  /// `index % wire_size()` flipped. The checksum is NOT recomputed — the
+  /// receiving parser must detect the damage and drop the frame.
+  static FrameRef corrupt_copy(const Frame& f, std::uint64_t index);
+
  private:
   Message msg_;
   std::array<std::uint8_t, Message::kHeaderBytes> header_{};
@@ -123,17 +145,47 @@ class Frame {
 /// as zero bytes of the declared length.
 std::vector<std::uint8_t> encode(const Message& m);
 
-/// Parses one message; nullopt on malformed/truncated input. The payload
-/// (if any) is copied out of `bytes` into a fresh shared buffer — the one
-/// copy a reused receive buffer forces; everything downstream shares it.
+/// Parses one message; nullopt on malformed/truncated input or a checksum
+/// mismatch. The payload (if any) is copied out of `bytes` into a fresh
+/// shared buffer — the one copy a reused receive buffer forces; everything
+/// downstream shares it.
 std::optional<Message> decode(std::span<const std::uint8_t> bytes);
 
 /// Borrow-decode: parses the frame's header block and *shares* its payload
-/// with the returned Message — zero byte copies.
+/// with the returned Message — zero byte copies. Frames are built
+/// in-process, so this trusted path skips checksum verification.
 std::optional<Message> decode(const Frame& frame);
 
 /// Frame length for a buffer starting with a header (nullopt if the header
 /// is incomplete).
 std::optional<std::size_t> frame_size(std::span<const std::uint8_t> bytes);
+
+/// Cap on the payload length the *stream* parser accepts. A corrupted
+/// 32-bit length field can otherwise declare gigabytes and stall the
+/// connection waiting for bytes that will never come; anything above this
+/// is treated as a torn header (resync), not a frame to wait for.
+inline constexpr std::uint64_t kMaxStreamPayloadBytes = 64ull << 20;
+
+/// Receive-side counters of the stream parser — the detection half of the
+/// fault-injection story (chaos counts what it injects; these count what
+/// the wire caught).
+struct StreamStats {
+  std::uint64_t frames = 0;         ///< verified frames handed to the sink
+  std::uint64_t corrupt_drops = 0;  ///< torn frames: bad magic/type/length/checksum
+  std::uint64_t resyncs = 0;        ///< forward scans to the next plausible header
+};
+
+/// Incremental parse of a length-prefixed byte stream with checksum
+/// verification and torn-frame resync: verified frames are handed to
+/// `sink` in order. A torn header (bad magic/type/length or header
+/// checksum) triggers a forward scan for the next checksum-verified
+/// header; a corrupted payload is skipped by its (header-sealed) declared
+/// length. Either way the connection survives instead of desyncing or
+/// aborting. Returns the new consume offset; bytes past it form an
+/// incomplete (but plausible) tail the caller must retain for the next
+/// read.
+std::size_t parse_stream(std::span<const std::uint8_t> buf, std::size_t start,
+                         StreamStats& stats,
+                         const std::function<void(const Message&)>& sink);
 
 }  // namespace allconcur::core

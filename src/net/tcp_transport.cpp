@@ -90,8 +90,8 @@ TcpNode::TcpNode(TcpNodeOptions options, DeliverFn on_deliver)
                    monotonic_now());
   }
   if (options_.fast_builder && options_.fallback_timeout > 0) {
-    watchdog_ =
-        std::make_unique<plus::FallbackTimer>(options_.fallback_timeout);
+    watchdog_ = std::make_unique<plus::FallbackTimer>(
+        options_.fallback_timeout, options_.fallback_max_round_age);
   }
 }
 
@@ -112,6 +112,8 @@ TcpNetStats TcpNode::net_stats() const {
   s.eagain_waits = net_.eagain_waits.load(std::memory_order_relaxed);
   s.frames_received = net_.frames_received.load(std::memory_order_relaxed);
   s.rbuf_compactions = net_.rbuf_compactions.load(std::memory_order_relaxed);
+  s.checksum_drops = net_.checksum_drops.load(std::memory_order_relaxed);
+  s.resyncs = net_.resyncs.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -231,7 +233,7 @@ void TcpNode::run() {
     // Commands may have been queued before the eventfd existed.
     drain_commands();
     int wait_ms = 50;
-    if (options_.send_delay > 0) {
+    if (options_.send_delay > 0 || options_.chaos) {
       wait_ms = std::min(wait_ms, release_delayed(monotonic_now()));
     }
     if (watchdog_) {
@@ -337,21 +339,28 @@ void TcpNode::parse_frames(Conn& conn) {
     conn.peer = hello;
     at += 4;
   }
-  while (at < conn.rbuf.size()) {
-    const auto frame = core::frame_size(
-        std::span(conn.rbuf.data() + at, conn.rbuf.size() - at));
-    if (!frame || conn.rbuf.size() - at < *frame) break;
-    const auto msg =
-        core::decode(std::span(conn.rbuf.data() + at, *frame));
-    at += *frame;
-    if (!msg) continue;  // malformed frame: skip
-    net_.frames_received.fetch_add(1, std::memory_order_relaxed);
-    if (msg->type == core::MsgType::kHeartbeat) {
-      if (fd_) fd_->on_heartbeat(conn.peer, monotonic_now());
-      continue;
-    }
-    if (fd_) fd_->on_heartbeat(conn.peer, monotonic_now());  // traffic = alive
-    engine_->on_message(conn.peer, *msg);
+  // Checksum-verified stream parse with torn-frame resync: a corrupted or
+  // hostile frame (bad magic, absurd length, checksum mismatch) is dropped
+  // and the parser hunts for the next plausible header instead of
+  // desyncing the connection or stalling on a 4 GiB length field.
+  core::StreamStats ss;
+  at = core::parse_stream({conn.rbuf.data(), conn.rbuf.size()}, at, ss,
+                          [this, &conn](const core::Message& msg) {
+                            net_.frames_received.fetch_add(
+                                1, std::memory_order_relaxed);
+                            if (fd_) {
+                              // Any verified traffic counts as liveness.
+                              fd_->on_heartbeat(conn.peer, monotonic_now());
+                            }
+                            if (msg.type == core::MsgType::kHeartbeat) return;
+                            engine_->on_message(conn.peer, msg);
+                          });
+  if (ss.corrupt_drops > 0) {
+    net_.checksum_drops.fetch_add(ss.corrupt_drops,
+                                  std::memory_order_relaxed);
+  }
+  if (ss.resyncs > 0) {
+    net_.resyncs.fetch_add(ss.resyncs, std::memory_order_relaxed);
   }
   conn.rstart = at;
   if (conn.rstart == conn.rbuf.size()) {
@@ -369,14 +378,37 @@ void TcpNode::parse_frames(Conn& conn) {
 }
 
 void TcpNode::queue_frame(NodeId dst, const core::FrameRef& frame) {
-  if (options_.send_delay > 0) {
+  core::FrameRef out = frame;
+  DurationNs extra = options_.send_delay;
+  bool duplicate = false;
+  if (options_.chaos) {
+    // Chaos interposition: same verdict point as the sim fabric's fault
+    // hook — one Action per outbound frame, drawn before any queueing.
+    const chaos::Action act =
+        options_.chaos->on_frame(options_.self, dst, monotonic_now());
+    if (act.drop) return;
+    if (act.corrupt) out = core::Frame::corrupt_copy(*frame, act.corrupt_at);
+    duplicate = act.duplicate;
+    extra += act.delay;
+  }
+  if (extra > 0) {
     // netem-style skew: park until now + delay; the event loop releases
-    // due frames each wake. Per-link FIFO is preserved — the delay is
-    // constant, so release order equals enqueue order.
-    delayed_.emplace_back(monotonic_now() + options_.send_delay, dst, frame);
+    // due frames each wake.
+    const TimeNs when = monotonic_now() + extra;
+    park_delayed(when, dst, out);
+    if (duplicate) park_delayed(when, dst, out);
     return;
   }
-  queue_frame_now(dst, frame);
+  queue_frame_now(dst, out);
+  if (duplicate) queue_frame_now(dst, out);
+}
+
+void TcpNode::park_delayed(TimeNs when, NodeId dst, core::FrameRef frame) {
+  // Sorted insert from the back: constant send_delay keeps this O(1); only
+  // chaos jitter pays a short walk.
+  auto it = delayed_.end();
+  while (it != delayed_.begin() && std::get<0>(*std::prev(it)) > when) --it;
+  delayed_.insert(it, std::make_tuple(when, dst, std::move(frame)));
 }
 
 int TcpNode::release_delayed(TimeNs now) {

@@ -29,6 +29,7 @@
 #include <tuple>
 #include <vector>
 
+#include "chaos/scenario.hpp"
 #include "core/engine.hpp"
 #include "core/failure_detector.hpp"
 #include "plus/fallback_timer.hpp"
@@ -59,6 +60,17 @@ struct TcpNodeOptions {
   /// reproduce the convoy/fallback claims on actual TCP instead of
   /// relying on scheduler noise. 0 = no delay.
   DurationNs send_delay = 0;
+  /// Adversarial fault injection extending the send_delay knob: a seeded
+  /// chaos::ScenarioEngine consulted once per outbound frame (protocol and
+  /// heartbeats alike). Drops discard the frame, duplicates queue it
+  /// twice, corruption flips a wire byte (the receiver's checksum must
+  /// catch it), and delays park the frame like send_delay does. Share one
+  /// engine across a cluster's nodes to replay a whole-cluster scenario.
+  chaos::ScenarioEngineRef chaos;
+  /// Dual mode: caps how long per-frame progress can re-arm the round
+  /// watchdog (see plus::FallbackTimer). 0 = the default 8x
+  /// fallback_timeout; < 0 disables the cap.
+  DurationNs fallback_max_round_age = 0;
   bool enable_heartbeats = true;
   core::HeartbeatFd::Params fd_params{.period = ms(25), .timeout = ms(250),
                                       .adaptive = false,
@@ -77,6 +89,11 @@ struct TcpNetStats {
   std::uint64_t eagain_waits = 0;     ///< flushes parked on EPOLLOUT
   std::uint64_t frames_received = 0;
   std::uint64_t rbuf_compactions = 0; ///< receive-buffer memmoves
+  /// Torn frames the stream parser dropped (magic/type/length/checksum
+  /// failures) instead of delivering — the detection side of injected
+  /// corruption.
+  std::uint64_t checksum_drops = 0;
+  std::uint64_t resyncs = 0;          ///< forward scans to a plausible header
 };
 
 class TcpNode {
@@ -145,10 +162,14 @@ class TcpNode {
   void on_readable(int fd);
   void on_writable(int fd);
   void parse_frames(Conn& conn);
-  /// Engine/FD send hook: applies the send_delay knob, then queues.
+  /// Engine/FD send hook: applies the chaos interposition and the
+  /// send_delay knob, then queues.
   void queue_frame(NodeId dst, const core::FrameRef& frame);
   /// Queues a frame on its connection for the end-of-wake flush.
   void queue_frame_now(NodeId dst, const core::FrameRef& frame);
+  /// Parks a frame until `when` (sorted insert: chaos jitter makes release
+  /// times non-monotone).
+  void park_delayed(TimeNs when, NodeId dst, core::FrameRef frame);
   /// Moves delay-parked frames whose release time passed to their
   /// connections; returns the epoll timeout (ms) until the next release.
   int release_delayed(TimeNs now);
@@ -168,8 +189,9 @@ class TcpNode {
   std::unique_ptr<core::HeartbeatFd> fd_;
   /// Dual mode: round watchdog polled once per event-loop wake.
   std::unique_ptr<plus::FallbackTimer> watchdog_;
-  /// send_delay knob: frames parked until their release time (monotonic
-  /// ns). Release times are monotone (constant delay), so a deque works.
+  /// send_delay/chaos knobs: frames parked until their release time
+  /// (monotonic ns), kept sorted by release time (chaos jitter varies
+  /// per frame, so enqueue order is not release order).
   std::deque<std::tuple<TimeNs, NodeId, core::FrameRef>> delayed_;
 
   int epoll_fd_ = -1;
@@ -189,6 +211,8 @@ class TcpNode {
     std::atomic<std::uint64_t> eagain_waits{0};
     std::atomic<std::uint64_t> frames_received{0};
     std::atomic<std::uint64_t> rbuf_compactions{0};
+    std::atomic<std::uint64_t> checksum_drops{0};
+    std::atomic<std::uint64_t> resyncs{0};
   } net_;
 
   std::mutex cmd_mutex_;

@@ -21,9 +21,15 @@ namespace allconcur::plus {
 class FallbackTimer {
  public:
   /// `timeout` <= 0 disables the watchdog (poll never fires).
-  explicit FallbackTimer(DurationNs timeout) : timeout_(timeout) {}
+  /// `max_round_age` caps how long progress re-arms can defer the fallback
+  /// for one round: 0 picks the default of 8x the timeout, < 0 disables
+  /// the cap (the pre-cap behaviour — vulnerable to gray-failure trickle).
+  explicit FallbackTimer(DurationNs timeout, DurationNs max_round_age = 0)
+      : timeout_(timeout),
+        max_round_age_(max_round_age == 0 ? 8 * timeout : max_round_age) {}
 
   DurationNs timeout() const { return timeout_; }
+  DurationNs max_round_age() const { return max_round_age_; }
 
   /// Reports the engine's current state; returns the round to time out
   /// when it has been stuck-and-armed past the timeout with no progress.
@@ -35,6 +41,12 @@ class FallbackTimer {
   /// firing the deadline re-arms, so a round that stays stuck (e.g. the
   /// fallback traffic itself was lost) fires again a full timeout later
   /// — the engine re-floods the transition on such re-fires.
+  ///
+  /// Re-arming is bounded by max_round_age: a gray-failed peer that
+  /// trickles one frame per timeout would otherwise re-arm the deadline
+  /// forever and the round would never fall back. Once the watched round
+  /// has been armed for longer than the cap, progress movement no longer
+  /// defers the fallback.
   std::optional<Round> poll(Round current, std::size_t progress,
                             TimeNs now) {
     if (timeout_ <= 0) return std::nullopt;
@@ -42,13 +54,27 @@ class FallbackTimer {
       watched_ = current;
       progress_ = progress;
       since_ = now;
+      armed_at_ = progress > 0 ? now : kTimeNever;
       started_ = true;
       return std::nullopt;
     }
-    if (progress == 0 || progress != progress_) {
+    if (progress == 0) {
+      // Unarmed (idle) round: neither the deadline nor the age run.
       progress_ = progress;
       since_ = now;
+      armed_at_ = kTimeNever;
       return std::nullopt;
+    }
+    if (armed_at_ == kTimeNever) armed_at_ = now;
+    const bool aged =
+        max_round_age_ > 0 && now - armed_at_ >= max_round_age_;
+    if (progress != progress_) {
+      progress_ = progress;
+      since_ = now;
+      if (!aged) return std::nullopt;
+      // Trickling progress past the age cap no longer buys deferral.
+      armed_at_ = now;  // pace re-fires: restart the age window
+      return watched_;
     }
     if (now - since_ < timeout_) return std::nullopt;
     since_ = now;  // re-arm
@@ -59,9 +85,12 @@ class FallbackTimer {
 
  private:
   DurationNs timeout_;
+  DurationNs max_round_age_;
   Round watched_ = 0;
   std::size_t progress_ = 0;
   TimeNs since_ = 0;
+  /// When the watched round first showed progress (kTimeNever = unarmed).
+  TimeNs armed_at_ = kTimeNever;
   bool started_ = false;
 };
 

@@ -1,0 +1,53 @@
+// Committed chaos-scenario catalog: the fault schedules CI replays, one
+// builder per fault class. A (builder, seed) pair fully determines the
+// schedule — the property suites sweep committed seeds through these, and
+// the README's fault matrix documents how to replay a failing seed
+// locally. Keep the knob values stable: changing them silently changes
+// every committed schedule.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "chaos/scenario.hpp"
+
+namespace allconcur::testing {
+
+/// Reorder + duplication on every link. No loss, so this is safe for
+/// classic mode (which has no retransmission): every frame still arrives
+/// at least once, just late, jittered, or twice.
+inline chaos::Scenario reorder_dup_scenario(std::uint64_t seed) {
+  chaos::LinkFaults f;
+  f.duplicate = 0.12;
+  f.reorder = 0.35;
+  f.reorder_jitter = us(400);
+  return chaos::Scenario(seed).faults(0, kTimeNever, f);
+}
+
+/// Wire corruption (plus light duplication) on every link. Corruption
+/// becomes loss at the receiver's checksum, so run this against the
+/// dual-digraph mode, whose watchdog re-floods recover lost frames.
+inline chaos::Scenario corruption_scenario(std::uint64_t seed) {
+  chaos::LinkFaults f;
+  f.corrupt = 0.05;
+  f.duplicate = 0.05;
+  return chaos::Scenario(seed).faults(0, kTimeNever, f);
+}
+
+/// Symmetric partition of `group` during [from, until), then heal.
+inline chaos::Scenario partition_heal_scenario(std::uint64_t seed,
+                                               std::vector<NodeId> group,
+                                               TimeNs from, TimeNs until) {
+  return chaos::Scenario(seed).partition(from, until, std::move(group));
+}
+
+/// Gray failure: `node` stays alive but every frame it sends is delayed
+/// by `slowdown` and lost with probability `drop` — the trickle pattern
+/// that re-arms an uncapped progress-aware watchdog forever.
+inline chaos::Scenario gray_scenario(std::uint64_t seed, NodeId node,
+                                     DurationNs slowdown, double drop) {
+  return chaos::Scenario(seed).gray(0, kTimeNever, node, slowdown, drop);
+}
+
+}  // namespace allconcur::testing

@@ -99,6 +99,45 @@ TEST(DroppedAhead, OnlyBeyondWindowTrafficCounts) {
   EXPECT_EQ(e.stats().dropped_ahead, 3u);
 }
 
+TEST(DroppedAhead, DuplicatedFutureFramesParkOnceAndApplyOnce) {
+  // Chaos-duplication regression: the same future-round frame arriving
+  // twice (network duplication, link retry) must not double-count
+  // dropped_ahead, must park only once, and must apply only once after
+  // the window advances — a double park would replay it twice and grow
+  // future_ without bound under sustained duplication.
+  std::vector<NodeId> members{0, 1, 2};
+  Engine::Hooks hooks;
+  hooks.send = [](NodeId, const FrameRef&) {};
+  std::vector<RoundResult> delivered;
+  hooks.deliver = [&](const RoundResult& r) { delivered.push_back(r); };
+  Engine e(0, View(members, complete_builder()), complete_builder(), hooks,
+           windowed(1));
+
+  e.on_message(1, Message::bcast(1, 1, nullptr));
+  e.on_message(1, Message::bcast(1, 1, nullptr));  // duplicate
+  e.on_message(1, Message::bcast(1, 1, nullptr));  // and again
+  EXPECT_EQ(e.stats().dropped_ahead, 1u);
+  EXPECT_EQ(e.stats().parked_duplicates, 2u);
+
+  // A same-round frame from a different origin is NOT a duplicate.
+  e.on_message(2, Message::bcast(1, 2, nullptr));
+  EXPECT_EQ(e.stats().dropped_ahead, 2u);
+  EXPECT_EQ(e.stats().parked_duplicates, 2u);
+
+  // Complete round 0; the parked round-1 frames replay exactly once each
+  // and, with 0's own broadcast, complete round 1 immediately.
+  e.broadcast_now();
+  e.on_message(1, Message::bcast(0, 1, nullptr));
+  e.on_message(2, Message::bcast(0, 2, nullptr));
+  e.broadcast_now();
+  ASSERT_EQ(delivered.size(), 2u);
+  EXPECT_EQ(e.current_round(), 2u);
+  EXPECT_EQ(delivered[1].deliveries.size(), 3u);
+  // Replay did not recount, and the late duplicates were absorbed by the
+  // in-window dedup, not redelivered.
+  EXPECT_EQ(e.stats().dropped_ahead, 2u);
+}
+
 // ---------------------------------------------------------------------
 // Window mechanics on a single engine.
 // ---------------------------------------------------------------------

@@ -4,6 +4,8 @@
 // well-formed-but-hostile message sequences.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "common/rng.hpp"
 #include "core/batch.hpp"
 #include "core/engine.hpp"
@@ -39,6 +41,111 @@ TEST(Fuzz, DecoderRoundTripsMutatedHeaders) {
         static_cast<std::uint8_t>(1 + rng.next_below(255));
     const auto msg = decode(bytes);  // must not crash
     (void)msg;
+  }
+}
+
+TEST(Fuzz, StreamParserResyncsAcrossTornFrames) {
+  // A stream of good frames with garbage runs and torn copies spliced in:
+  // the parser must deliver every intact frame, drop the damage, and
+  // never desync past a good frame or stall.
+  Rng rng(testing::test_seed_offset() + 0xfeed);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::vector<std::uint8_t> stream;
+    std::size_t good = 0;
+    for (int f = 0; f < 12; ++f) {
+      const auto choice = rng.next_below(4);
+      if (choice == 0) {
+        // Garbage run.
+        const std::size_t len = 1 + rng.next_below(40);
+        for (std::size_t i = 0; i < len; ++i) {
+          stream.push_back(static_cast<std::uint8_t>(rng.next_u64()));
+        }
+      } else if (choice == 1) {
+        // A frame with one wire byte flipped (chaos corruption).
+        const auto frame = Frame::make(Message::bcast(
+            f, 1, make_payload({0xaa, 0xbb, static_cast<std::uint8_t>(f)})));
+        const auto bytes =
+            Frame::corrupt_copy(*frame, rng.next_u64())->to_bytes();
+        stream.insert(stream.end(), bytes.begin(), bytes.end());
+      } else {
+        // Intact frame; payload sometimes empty.
+        const auto frame = Frame::make(
+            choice == 2 ? Message::bcast(f, 2, make_payload({1, 2, 3, 4}))
+                        : Message::fail(f, 1, 2));
+        const auto bytes = frame->to_bytes();
+        stream.insert(stream.end(), bytes.begin(), bytes.end());
+        ++good;
+      }
+    }
+    StreamStats stats;
+    std::size_t delivered = 0;
+    const std::size_t at = parse_stream(
+        stream, 0, stats, [&](const Message&) { ++delivered; });
+    // Every intact frame survived the surrounding damage. (Equality, not
+    // >=: torn frames and garbage must never produce a delivery, and the
+    // header checksum makes accidental reassembly into a valid frame a
+    // 2^-32 event.)
+    EXPECT_EQ(delivered, good) << "iter " << iter;
+    EXPECT_EQ(stats.frames, good);
+    EXPECT_LE(at, stream.size());  // parser terminated and consumed sanely
+  }
+}
+
+TEST(Fuzz, StreamParserNeverStallsOnHostileLengthField) {
+  // Regression: a corrupted length field declaring a huge payload must
+  // not park the connection waiting for bytes that will never come. The
+  // header checksum rejects the tampered header, and the parser resyncs
+  // to the genuine frame behind it.
+  const auto good = Frame::make(Message::bcast(7, 2, make_payload({9, 9})))
+                        ->to_bytes();
+  for (const std::uint32_t hostile :
+       {std::uint32_t{0xffffffffu}, std::uint32_t{64u << 20},
+        std::uint32_t{1u << 16}}) {
+    auto evil = Frame::make(Message::bcast(3, 1, nullptr))->to_bytes();
+    std::memcpy(evil.data() + 12, &hostile, sizeof(hostile));  // forge length
+    std::vector<std::uint8_t> stream = evil;
+    stream.insert(stream.end(), good.begin(), good.end());
+    StreamStats stats;
+    std::size_t delivered = 0;
+    const std::size_t at = parse_stream(
+        stream, 0, stats, [&](const Message& m) {
+          ++delivered;
+          EXPECT_EQ(m.round, 7u);
+        });
+    EXPECT_EQ(delivered, 1u) << "length " << hostile;
+    EXPECT_EQ(at, stream.size()) << "parser stalled waiting on forged length";
+    EXPECT_GE(stats.corrupt_drops, 1u);
+    EXPECT_GE(stats.resyncs, 1u);
+  }
+}
+
+TEST(Fuzz, StreamParserKeepsSplitFramesAcrossReads) {
+  // A frame split at every possible byte boundary across two reads must
+  // survive: the prefix is retained as a plausible tail, and the second
+  // read completes it.
+  const auto frame =
+      Frame::make(Message::bcast(5, 3, make_payload({1, 2, 3, 4, 5, 6})));
+  const auto bytes = frame->to_bytes();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::uint8_t> buf(bytes.begin(), bytes.begin() +
+                                  static_cast<std::ptrdiff_t>(cut));
+    StreamStats stats;
+    std::size_t delivered = 0;
+    const auto sink = [&](const Message& m) {
+      ++delivered;
+      EXPECT_EQ(m.round, 5u);
+      ASSERT_TRUE(m.payload);
+      EXPECT_EQ(m.payload->size(), 6u);
+    };
+    const std::size_t at1 = parse_stream(buf, 0, stats, sink);
+    EXPECT_EQ(at1, 0u) << "cut " << cut;  // nothing consumed yet
+    EXPECT_EQ(delivered, 0u);
+    buf.insert(buf.end(), bytes.begin() + static_cast<std::ptrdiff_t>(cut),
+               bytes.end());
+    const std::size_t at2 = parse_stream(buf, at1, stats, sink);
+    EXPECT_EQ(at2, bytes.size());
+    EXPECT_EQ(delivered, 1u);
+    EXPECT_EQ(stats.corrupt_drops, 0u);
   }
 }
 

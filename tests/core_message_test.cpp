@@ -76,6 +76,19 @@ TEST(Message, DecodeRejectsTruncated) {
   }
 }
 
+TEST(Message, ChecksumRejectsEverySingleByteFlip) {
+  // FNV-1a's xor-then-multiply chain is invertible, so any single-byte
+  // change yields a different checksum: flipping each wire byte in turn
+  // (header fields, either checksum, payload) must always be rejected.
+  const auto bytes = encode(Message::bcast(9, 2, make_payload({5, 6, 7, 8})));
+  ASSERT_TRUE(decode(bytes).has_value());
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    auto tampered = bytes;
+    tampered[i] ^= 0x01;  // minimal damage: one bit
+    EXPECT_FALSE(decode(tampered).has_value()) << "byte " << i;
+  }
+}
+
 TEST(Message, DecodeRejectsBadType) {
   auto bytes = encode(Message::heartbeat(1));
   bytes[0] = 0;

@@ -1,0 +1,145 @@
+// Chaos interposition on real localhost TCP: a shared seeded
+// ScenarioEngine shapes every outbound frame of every node (the
+// whole-cluster scenario), and the wire checksums must turn injected
+// corruption into detected drops — never silently delivered bytes. Loss
+// recovery comes from the dual-digraph watchdog (classic mode has no
+// retransmission), so both tests run the AllConcur+ configuration.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "chaos/scenario.hpp"
+#include "plus/dual_overlay.hpp"
+#include "tcp_cluster.hpp"
+
+namespace allconcur::net {
+namespace {
+
+using core::RoundResult;
+using testing::scaled;
+using testing::TcpCluster;
+
+/// Byte-level equality of two rounds' delivery vectors — the agreement
+/// assertion that would catch any silently delivered corrupt payload
+/// (corruption is per-link, so a corrupt copy cannot reach every node).
+void expect_same_round(const RoundResult& a, const RoundResult& b,
+                       NodeId node, std::size_t r) {
+  ASSERT_EQ(a.deliveries.size(), b.deliveries.size())
+      << "node " << node << " round " << r;
+  for (std::size_t i = 0; i < a.deliveries.size(); ++i) {
+    EXPECT_EQ(a.deliveries[i].origin, b.deliveries[i].origin);
+    EXPECT_EQ(a.deliveries[i].bytes, b.deliveries[i].bytes);
+    const bool pa = a.deliveries[i].payload != nullptr;
+    const bool pb = b.deliveries[i].payload != nullptr;
+    ASSERT_EQ(pa, pb);
+    if (pa) {
+      EXPECT_EQ(*a.deliveries[i].payload, *b.deliveries[i].payload)
+          << "node " << node << " round " << r << " delivery " << i;
+    }
+  }
+}
+
+TEST(TcpChaos, CorruptionIsDetectedAndRoundsStillAgree) {
+  // Every link corrupts ~3% and duplicates ~8% of frames, with reorder
+  // jitter on top. Corruption becomes loss at the receiver (checksum
+  // drop); the fallback watchdog's re-floods recover it.
+  auto inject = std::make_shared<chaos::ScenarioEngine>([] {
+    chaos::LinkFaults f;
+    f.corrupt = 0.03;
+    f.duplicate = 0.08;
+    f.reorder = 0.2;
+    f.reorder_jitter = scaled(ms(2));
+    return chaos::Scenario(0xC0FFEE).faults(0, kTimeNever, f);
+  }());
+  TcpCluster c(4, core::FdMode::kPerfect, sec(10), [&](TcpNodeOptions& opt) {
+    opt.fast_builder = plus::make_unreliable_builder();
+    opt.fallback_timeout = scaled(ms(40));
+    opt.chaos = inject;
+  });
+  const std::uint64_t kRounds = 5;
+  std::atomic<bool> done{false};
+  std::thread pump([&] {
+    std::uint8_t tick = 0;
+    while (!done.load()) {
+      for (NodeId i = 0; i < 4; ++i) {
+        c.node(i).submit(core::Request::of_data(
+            {static_cast<std::uint8_t>(i), tick, 0x5a}));
+        c.node(i).broadcast_now();
+      }
+      ++tick;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  const bool ok = c.wait_rounds({0, 1, 2, 3}, kRounds, sec(60));
+  done.store(true);
+  pump.join();
+  ASSERT_TRUE(ok) << "chaos prevented round completion";
+
+  // The scenario did inject, and the wire did detect.
+  EXPECT_GT(inject->stats().corrupted, 0u);
+  EXPECT_GT(inject->stats().duplicated, 0u);
+  std::uint64_t detected = 0;
+  for (NodeId i = 0; i < 4; ++i) {
+    detected += c.node(i).net_stats().checksum_drops;
+  }
+  EXPECT_GT(detected, 0u) << "injected corruption was never caught";
+
+  // Agreement down to the payload bytes, against node 0's sequence.
+  const auto reference = c.delivered(0);
+  ASSERT_GE(reference.size(), kRounds);
+  for (NodeId i = 1; i < 4; ++i) {
+    const auto rounds = c.delivered(i);
+    ASSERT_GE(rounds.size(), kRounds);
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      expect_same_round(rounds[r], reference[r], i, r);
+      EXPECT_TRUE(rounds[r].removed.empty());
+    }
+  }
+}
+
+TEST(TcpChaos, PartitionHealsAndWatchdogRecovers) {
+  // Node 3 is cut off from everyone for a while (frames dropped both
+  // directions), then the partition heals. The FD timeout is far past the
+  // test horizon, so no eviction: recovery must come from the fallback
+  // watchdog re-flooding the stuck round after the heal.
+  auto inject = std::make_shared<chaos::ScenarioEngine>(
+      chaos::Scenario(0xBADBEEF).partition(0, scaled(ms(250)), {3}));
+  TcpCluster c(4, core::FdMode::kPerfect, sec(30), [&](TcpNodeOptions& opt) {
+    opt.fast_builder = plus::make_unreliable_builder();
+    opt.fallback_timeout = scaled(ms(30));
+    opt.chaos = inject;
+  });
+  const std::uint64_t kRounds = 3;
+  std::atomic<bool> done{false};
+  std::thread pump([&] {
+    while (!done.load()) {
+      for (NodeId i = 0; i < 4; ++i) c.node(i).broadcast_now();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+  const bool ok = c.wait_rounds({0, 1, 2, 3}, kRounds, sec(60));
+  done.store(true);
+  pump.join();
+  ASSERT_TRUE(ok) << "cluster never recovered from the healed partition";
+
+  EXPECT_GT(inject->stats().dropped, 0u) << "the partition dropped nothing";
+  std::uint64_t fallbacks = 0;
+  for (NodeId i = 0; i < 4; ++i) fallbacks += c.node(i).stats().fallback_rounds;
+  EXPECT_GT(fallbacks, 0u) << "the partition never forced a fallback";
+
+  const auto reference = c.delivered(0);
+  ASSERT_GE(reference.size(), kRounds);
+  for (NodeId i = 1; i < 4; ++i) {
+    const auto rounds = c.delivered(i);
+    ASSERT_GE(rounds.size(), kRounds);
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      expect_same_round(rounds[r], reference[r], i, r);
+      EXPECT_TRUE(rounds[r].removed.empty());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace allconcur::net

@@ -459,5 +459,47 @@ TEST(DualEngine, WatchdogPolicyFiresOnceAndRearms) {
   EXPECT_TRUE(t.poll(1, 1, ms(75)).has_value());
 }
 
+TEST(DualEngine, WatchdogTrickleCannotRearmForever) {
+  // Gray-failure regression: a peer that trickles one frame per timeout
+  // bumps the progress counter on every poll, and each bump re-arms the
+  // deadline. Uncapped, the watched round never falls back.
+  plus::FallbackTimer uncapped(ms(10), /*max_round_age=*/-1);
+  std::size_t progress = 1;
+  TimeNs now = 0;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(uncapped.poll(0, progress++, now).has_value()) << i;
+    now += ms(9);  // always inside the timeout, always fresh progress
+  }
+
+  // The max-round-age cap (default 8x timeout) bounds the deferral: once
+  // the round has been armed that long, trickling progress no longer
+  // buys time and the watchdog fires.
+  plus::FallbackTimer capped(ms(10));
+  EXPECT_EQ(capped.max_round_age(), ms(80));
+  progress = 1;
+  now = 0;
+  std::optional<Round> fired;
+  TimeNs fired_at = kTimeNever;
+  for (int i = 0; i < 100 && !fired; ++i) {
+    fired = capped.poll(0, progress++, now);
+    if (fired) fired_at = now;
+    now += ms(9);
+  }
+  ASSERT_TRUE(fired.has_value());
+  EXPECT_EQ(*fired, 0u);
+  EXPECT_LE(fired_at, ms(80) + ms(9));
+  // The cap paces re-fires rather than firing on every subsequent poll:
+  // the age window restarts, so the next trickle-deferred fire is a full
+  // cap later — and a still-stuck round keeps firing, not just once.
+  std::size_t refires = 0;
+  const TimeNs horizon = now + ms(800);
+  while (now < horizon) {
+    if (capped.poll(0, progress++, now).has_value()) ++refires;
+    now += ms(9);
+  }
+  EXPECT_GE(refires, 5u);
+  EXPECT_LE(refires, 15u);
+}
+
 }  // namespace
 }  // namespace allconcur::core

@@ -10,8 +10,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <set>
 
+#include "api/sim_cluster.hpp"
+#include "chaos_scenarios.hpp"
 #include "graph/binomial_graph.hpp"
 #include "graph/gs_digraph.hpp"
 #include "graph/reliability.hpp"
@@ -216,6 +219,113 @@ TEST_P(MultiRoundProperty, AgreementAcrossShrinkingViews) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, MultiRoundProperty,
                          ::testing::Range<std::uint64_t>(100, 120));
+
+// ---------------------------------------------------------------------
+// Chaos sweeps on the timed simulator: committed scenario seeds (see
+// chaos_scenarios.hpp) replay deterministic fault schedules through the
+// fabric's fault hook. Agreement must survive them, and the corruption
+// counters must stay silent (these scenarios inject none).
+// ---------------------------------------------------------------------
+
+/// Cross-node agreement on the common prefix of delivered rounds:
+/// identical origin vectors everywhere, no duplicate origins.
+void expect_prefix_agreement(
+    std::map<NodeId, std::vector<RoundResult>>& results,
+    const std::vector<NodeId>& nodes, std::size_t min_rounds) {
+  std::size_t prefix = SIZE_MAX;
+  for (NodeId id : nodes) prefix = std::min(prefix, results[id].size());
+  ASSERT_GE(prefix, min_rounds);
+  const auto& ref = results[nodes[0]];
+  for (NodeId id : nodes) {
+    const auto& rounds = results[id];
+    for (std::size_t r = 0; r < prefix; ++r) {
+      ASSERT_EQ(rounds[r].deliveries.size(), ref[r].deliveries.size())
+          << "node " << id << " round " << r;
+      std::set<NodeId> seen;
+      for (std::size_t k = 0; k < rounds[r].deliveries.size(); ++k) {
+        EXPECT_EQ(rounds[r].deliveries[k].origin, ref[r].deliveries[k].origin)
+            << "node " << id << " round " << r << " slot " << k;
+        EXPECT_TRUE(seen.insert(rounds[r].deliveries[k].origin).second);
+      }
+    }
+  }
+}
+
+class ChaosReorderDupProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosReorderDupProperty, AgreementUnderReorderAndDuplication) {
+  // Classic mode is safe here: the scenario delays and duplicates but
+  // never loses, so no retransmission is needed. Duplicates exercise the
+  // receivers' in-window dedup and the park-once path.
+  auto inject = std::make_shared<chaos::ScenarioEngine>(
+      testing::reorder_dup_scenario(GetParam()));
+  api::ClusterOptions opt;
+  opt.n = 8;
+  opt.chaos = inject;
+  api::SimCluster c(opt);
+  std::map<NodeId, std::vector<RoundResult>> results;
+  c.on_deliver = [&](NodeId who, const RoundResult& r, TimeNs) {
+    results[who].push_back(r);
+    c.broadcast_now(who);
+  };
+  c.broadcast_all_now();
+  ASSERT_TRUE(c.run_until_round_done(4, sec(10)));
+
+  EXPECT_GT(inject->stats().duplicated, 0u);
+  EXPECT_GT(inject->stats().delayed, 0u);
+  EXPECT_EQ(inject->stats().corrupted, 0u);
+  EXPECT_EQ(c.corrupt_dropped(), 0u);
+  EXPECT_EQ(c.corrupt_delivered(), 0u);
+  expect_prefix_agreement(results, c.live_nodes(), 5);
+  for (NodeId id : c.live_nodes()) {
+    EXPECT_TRUE(results[id][0].removed.empty()) << "node " << id;
+    EXPECT_EQ(c.engine(id).stats().dropped_lost, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ChaosSeeds, ChaosReorderDupProperty,
+                         ::testing::Values(0xA11C21u, 0xA11C22u));
+
+class ChaosPartitionHealProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosPartitionHealProperty, MajorityAgreesAcrossPartitionAndHeal) {
+  // A chaos-driven partition (not the oracle link filter): {6, 7} are cut
+  // off from [20 ms, 500 ms). The heartbeat ⋄P detector suspects them
+  // from the silence, the majority evicts them and keeps delivering;
+  // the heal arrives after eviction, so the view stays at 6.
+  auto inject = std::make_shared<chaos::ScenarioEngine>(
+      testing::partition_heal_scenario(GetParam(), {6, 7}, ms(20), ms(500)));
+  api::ClusterOptions opt;
+  opt.n = 8;
+  opt.fd_mode = FdMode::kEventuallyPerfect;
+  opt.heartbeat_fd = true;
+  opt.fd_params.period = ms(10);
+  opt.fd_params.timeout = ms(60);
+  opt.chaos = inject;
+  api::SimCluster c(opt);
+  std::map<NodeId, std::vector<RoundResult>> results;
+  c.on_deliver = [&](NodeId who, const RoundResult& r, TimeNs) {
+    results[who].push_back(r);
+    c.broadcast_now(who);
+  };
+  c.broadcast_all_now();
+  c.run_for(sec(2));
+
+  EXPECT_GT(inject->stats().dropped, 0u) << "the partition dropped nothing";
+  const std::vector<NodeId> majority{0, 1, 2, 3, 4, 5};
+  expect_prefix_agreement(results, majority, 3);
+  for (NodeId id : majority) {
+    ASSERT_FALSE(results[id].empty());
+    EXPECT_EQ(results[id].back().view_size, 6u) << "node " << id;
+  }
+  EXPECT_EQ(c.corrupt_dropped(), 0u);
+  EXPECT_EQ(c.corrupt_delivered(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChaosSeeds, ChaosPartitionHealProperty,
+                         ::testing::Values(0xA11C31u, 0xA11C32u));
 
 }  // namespace
 }  // namespace allconcur::core

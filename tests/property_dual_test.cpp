@@ -20,6 +20,8 @@
 #include <set>
 #include <string>
 
+#include "api/sim_cluster.hpp"
+#include "chaos_scenarios.hpp"
 #include "graph/gs_digraph.hpp"
 #include "loopback_cluster.hpp"
 #include "plus/dual_overlay.hpp"
@@ -409,3 +411,114 @@ INSTANTIATE_TEST_SUITE_P(Seeds, DualSmrProperty,
 
 }  // namespace
 }  // namespace allconcur::smr
+
+// ---------------------------------------------------------------------
+// Chaos sweeps: the dual-digraph mode against committed fault schedules
+// on the timed simulator. Corruption becomes loss at the receivers'
+// checksums and the watchdog's re-floods must recover it — with zero
+// silently delivered corrupt payloads (the acceptance gate). The gray
+// scenario trickles just enough traffic to re-arm an uncapped
+// progress-aware watchdog forever; the capped timer must fall back
+// anyway and the cluster must keep agreeing.
+// ---------------------------------------------------------------------
+namespace allconcur::api {
+namespace {
+
+using core::RoundResult;
+
+void expect_chaos_agreement(
+    std::map<NodeId, std::vector<RoundResult>>& results,
+    const std::vector<NodeId>& nodes, std::size_t min_rounds) {
+  std::size_t prefix = SIZE_MAX;
+  for (NodeId id : nodes) {
+    prefix = std::min(prefix, results[id].size());
+  }
+  ASSERT_GE(prefix, min_rounds);
+  const auto& ref = results[nodes[0]];
+  for (NodeId id : nodes) {
+    const auto& rounds = results[id];
+    for (std::size_t r = 0; r < prefix; ++r) {
+      ASSERT_EQ(rounds[r].deliveries.size(), ref[r].deliveries.size())
+          << "node " << id << " round " << r;
+      for (std::size_t k = 0; k < rounds[r].deliveries.size(); ++k) {
+        EXPECT_EQ(rounds[r].deliveries[k].origin, ref[r].deliveries[k].origin)
+            << "node " << id << " round " << r << " slot " << k;
+      }
+    }
+  }
+}
+
+class ChaosCorruptionProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosCorruptionProperty, CorruptionNeverDeliversSilently) {
+  auto inject = std::make_shared<chaos::ScenarioEngine>(
+      testing::corruption_scenario(GetParam()));
+  ClusterOptions opt;
+  opt.n = 8;
+  opt.fast_builder = plus::make_unreliable_builder();
+  opt.fallback_timeout = ms(30);
+  opt.chaos = inject;
+  SimCluster c(opt);
+  std::map<NodeId, std::vector<RoundResult>> results;
+  c.on_deliver = [&](NodeId who, const RoundResult& r, TimeNs) {
+    results[who].push_back(r);
+    c.broadcast_now(who);
+  };
+  c.broadcast_all_now();
+  ASSERT_TRUE(c.run_until_round_done(3, sec(30)))
+      << "corruption-induced loss was never recovered";
+
+  // The acceptance gate: every injected corruption was detected at a
+  // receiver's checksum; none decoded into a delivery.
+  EXPECT_GT(inject->stats().corrupted, 0u);
+  EXPECT_GT(c.corrupt_dropped(), 0u);
+  EXPECT_LE(c.corrupt_dropped(), inject->stats().corrupted);
+  EXPECT_EQ(c.corrupt_delivered(), 0u)
+      << "corrupt frames were silently delivered";
+  expect_chaos_agreement(results, c.live_nodes(), 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChaosSeeds, ChaosCorruptionProperty,
+                         ::testing::Values(0xA11C51u, 0xA11C52u));
+
+class ChaosGrayFallbackProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosGrayFallbackProperty, CappedWatchdogFallsBackUnderTrickle) {
+  // Node 7 stays alive but delays everything by 1 ms and loses 35% — a
+  // trickle that keeps bumping peers' progress counters. The capped
+  // watchdog (4x timeout) must fire anyway, and the fallback re-floods
+  // must carry the lossy rounds through.
+  auto inject = std::make_shared<chaos::ScenarioEngine>(
+      testing::gray_scenario(GetParam(), 7, ms(1), 0.35));
+  ClusterOptions opt;
+  opt.n = 8;
+  opt.fast_builder = plus::make_unreliable_builder();
+  opt.fallback_timeout = ms(25);
+  opt.fallback_max_round_age = ms(100);
+  opt.chaos = inject;
+  SimCluster c(opt);
+  std::map<NodeId, std::vector<RoundResult>> results;
+  c.on_deliver = [&](NodeId who, const RoundResult& r, TimeNs) {
+    results[who].push_back(r);
+    c.broadcast_now(who);
+  };
+  c.broadcast_all_now();
+  ASSERT_TRUE(c.run_until_round_done(2, sec(30)))
+      << "gray failure starved the cluster";
+
+  EXPECT_GT(inject->stats().dropped, 0u);
+  EXPECT_GT(inject->stats().delayed, 0u);
+  const auto stats = c.aggregate_stats();
+  EXPECT_GT(stats.fallback_rounds, 0u)
+      << "the gray trickle never drove a fallback";
+  EXPECT_EQ(c.corrupt_delivered(), 0u);
+  expect_chaos_agreement(results, c.live_nodes(), 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChaosSeeds, ChaosGrayFallbackProperty,
+                         ::testing::Values(0xA11C61u, 0xA11C62u));
+
+}  // namespace
+}  // namespace allconcur::api

@@ -17,6 +17,8 @@
 #include <set>
 #include <string>
 
+#include "api/sim_cluster.hpp"
+#include "chaos_scenarios.hpp"
 #include "graph/binomial_graph.hpp"
 #include "graph/gs_digraph.hpp"
 #include "loopback_cluster.hpp"
@@ -310,3 +312,78 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PipelinedSmrProperty,
 
 }  // namespace
 }  // namespace allconcur::smr
+
+// ---------------------------------------------------------------------
+// Chaos sweeps: the windowed engine against committed fault schedules on
+// the timed simulator. Reorder + duplication stress the out-of-order
+// window bookkeeping (and the park-once dedup of ahead-of-window
+// duplicates); the gray slowdown creates exactly the convoy skew the
+// window exists to hide.
+// ---------------------------------------------------------------------
+namespace allconcur::api {
+namespace {
+
+using core::RoundResult;
+
+void run_windowed_chaos(chaos::ScenarioEngineRef inject, Round until_round,
+                        std::uint64_t min_delayed) {
+  ClusterOptions opt;
+  opt.n = 8;
+  opt.window = 4;
+  opt.chaos = inject;
+  SimCluster c(opt);
+  std::map<NodeId, std::vector<RoundResult>> results;
+  c.on_deliver = [&](NodeId who, const RoundResult& r, TimeNs) {
+    results[who].push_back(r);
+    c.broadcast_now(who);
+  };
+  c.broadcast_all_now();
+  ASSERT_TRUE(c.run_until_round_done(until_round, sec(20)));
+
+  EXPECT_GE(inject->stats().delayed, min_delayed);
+  EXPECT_EQ(c.corrupt_dropped(), 0u);   // these scenarios corrupt nothing
+  EXPECT_EQ(c.corrupt_delivered(), 0u);
+
+  // In-order, identical delivery per round at every node.
+  std::size_t prefix = SIZE_MAX;
+  for (NodeId id : c.live_nodes()) {
+    prefix = std::min(prefix, results[id].size());
+  }
+  ASSERT_GE(prefix, static_cast<std::size_t>(until_round) + 1);
+  const auto& ref = results[0];
+  for (NodeId id : c.live_nodes()) {
+    const auto& rounds = results[id];
+    for (std::size_t r = 0; r < prefix; ++r) {
+      EXPECT_EQ(rounds[r].round, ref[r].round) << "node " << id;
+      ASSERT_EQ(rounds[r].deliveries.size(), ref[r].deliveries.size())
+          << "node " << id << " round " << r;
+      for (std::size_t k = 0; k < rounds[r].deliveries.size(); ++k) {
+        EXPECT_EQ(rounds[r].deliveries[k].origin, ref[r].deliveries[k].origin)
+            << "node " << id << " round " << r << " slot " << k;
+      }
+    }
+  }
+}
+
+class ChaosWindowProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosWindowProperty, WindowedAgreementUnderReorderAndDuplication) {
+  run_windowed_chaos(std::make_shared<chaos::ScenarioEngine>(
+                         testing::reorder_dup_scenario(GetParam())),
+                     /*until_round=*/6, /*min_delayed=*/1);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChaosSeeds, ChaosWindowProperty,
+                         ::testing::Values(0xA11C41u, 0xA11C42u));
+
+TEST(ChaosWindowProperty, GraySlowdownConvoyStillAgrees) {
+  // Node 5 is gray in the slow-only sense: every frame it sends is late
+  // by 300 us (no loss, so classic-mode liveness holds). The window must
+  // ride the convoy without reordering deliveries anywhere.
+  run_windowed_chaos(std::make_shared<chaos::ScenarioEngine>(
+                         testing::gray_scenario(0xA11C43u, 5, us(300), 0.0)),
+                     /*until_round=*/6, /*min_delayed=*/10);
+}
+
+}  // namespace
+}  // namespace allconcur::api
