@@ -20,6 +20,7 @@
 #include "common/flags.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
+#include "obs/schema.hpp"
 
 namespace allconcur::bench {
 
@@ -61,6 +62,31 @@ inline void row(const char* fmt, ...) {
 }
 
 // ----------------------------------------------------------------------
+// Metrics embedding: every bench --json carries a snapshot of the
+// unified metrics plane (obs/schema.hpp names) under a stable "metrics"
+// key, so a run's internal counters travel with its perf numbers.
+// bench_compare.py excludes the subtree from default direction gating
+// (counters like "drops" would pattern-match perf heuristics) — metric
+// diffs are opt-in via its --metric allowlist.
+// ----------------------------------------------------------------------
+
+/// Registry JSON for an aggregate EngineStats snapshot — for harnesses
+/// that drive engines directly instead of through a SimCluster (which
+/// has its own richer metrics_json()).
+inline std::string metrics_snapshot_json(const core::EngineStats& stats) {
+  obs::Registry registry;
+  obs::fill_engine_stats(registry, stats);
+  return registry.to_json(2);
+}
+
+/// Emits the "metrics" key at top-level depth. Call between the last
+/// sibling key and the closing `}` of the bench's JSON object.
+inline void write_metrics_key(std::FILE* f, const std::string& metrics_json) {
+  std::fprintf(f, ",\n  \"metrics\": %s\n",
+               metrics_json.empty() ? "{}" : metrics_json.c_str());
+}
+
+// ----------------------------------------------------------------------
 // AllConcur round loops on the simulated fabric.
 // ----------------------------------------------------------------------
 
@@ -69,6 +95,7 @@ struct BatchRunResult {
   double agreement_gbps = 0.0;   ///< n * batch_bytes per round
   double aggregate_gbps = 0.0;   ///< agreement * n (Fig. 10d)
   bool completed = false;
+  std::string metrics_json;      ///< end-of-run unified metrics snapshot
 };
 
 /// Fixed-size message per server per round (the Fig. 10 workload):
@@ -95,6 +122,7 @@ inline BatchRunResult run_allconcur_batch(std::size_t n,
   cluster.broadcast_all_now();
   BatchRunResult out;
   out.completed = cluster.run_until_round_done(rounds - 1, deadline);
+  out.metrics_json = cluster.metrics_json();
   if (!out.completed) return out;
   out.avg_round_ns = static_cast<double>(cluster.sim().now()) /
                      static_cast<double>(rounds);
@@ -107,6 +135,7 @@ inline BatchRunResult run_allconcur_batch(std::size_t n,
 struct RateRunResult {
   Summary latency_us;      ///< per-node agreement latency samples
   bool unstable = false;   ///< offered load exceeded agreement throughput
+  std::string metrics_json;  ///< end-of-run unified metrics snapshot
 };
 
 /// Constant request rate per server (the Fig. 8/9 workloads), fluid
@@ -159,6 +188,7 @@ inline RateRunResult run_allconcur_rate(std::size_t n,
   if (!cluster.run_until_round_done(total_rounds - 1, deadline)) {
     out.unstable = true;
   }
+  out.metrics_json = cluster.metrics_json();
   if (!out.unstable && out.latency_us.count() >= 4) {
     // Blow-up detection: the tail of the run is far above its median.
     const double med = out.latency_us.median();

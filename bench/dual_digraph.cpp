@@ -363,8 +363,13 @@ int main(int argc, char** argv) {
     }
     std::fprintf(f,
                  "\n    ]\n  },\n"
-                 "  \"tcp\": {\"fast_rounds_per_sec\": %.0f}\n}\n",
+                 "  \"tcp\": {\"fast_rounds_per_sec\": %.0f}",
                  tcp_rps);
+    bench::write_metrics_key(
+        f, points.empty()
+               ? std::string()
+               : bench::metrics_snapshot_json(points.back().fast.stats));
+    std::fprintf(f, "}\n");
     std::fclose(f);
     bench::print_note("wrote " + json_path);
   }

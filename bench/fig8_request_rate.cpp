@@ -35,7 +35,8 @@ struct Series {
 Series run_series(const std::string& name, const sim::FabricParams& fabric,
                   const std::vector<std::int64_t>& sizes,
                   const std::vector<std::int64_t>& rates,
-                  std::size_t window) {
+                  std::size_t window,
+                  std::string* metrics_out = nullptr) {
   print_title("Fig. 8 (" + name +
               "): latency vs per-server request rate (64B), W=" +
               std::to_string(window));
@@ -51,6 +52,9 @@ Series run_series(const std::string& name, const sim::FabricParams& fabric,
           static_cast<std::size_t>(n), fabric, 64,
           static_cast<double>(rate), /*warmup=*/5, /*measured=*/20,
           /*deadline=*/sec(5), window);
+      if (metrics_out != nullptr && !r.metrics_json.empty()) {
+        *metrics_out = r.metrics_json;
+      }
       Cell cell;
       cell.n = n;
       cell.rate = rate;
@@ -90,14 +94,15 @@ int main(int argc, char** argv) {
       "window", smoke ? std::vector<std::int64_t>{1, 4}
                       : std::vector<std::int64_t>{1});
   std::vector<Series> series;
+  std::string last_metrics_json;
   for (const std::int64_t w : windows) {
     const auto window = static_cast<std::size_t>(w);
     const std::string suffix = window > 1 ? "_w" + std::to_string(window) : "";
     series.push_back(run_series("ibv" + suffix,
                                 sim::FabricParams::infiniband(), sizes,
-                                rates, window));
+                                rates, window, &last_metrics_json));
     series.push_back(run_series("tcp" + suffix, sim::FabricParams::tcp_ib(),
-                                sizes, rates, window));
+                                sizes, rates, window, &last_metrics_json));
   }
   print_note("paper anchors: IBV n=8 @ 100M req/s/server agrees in ~35us; "
              "n=64 @ 32k req/s/server in < 0.75ms; TCP ~3x higher.");
@@ -133,7 +138,9 @@ int main(int argc, char** argv) {
       }
       std::fprintf(f, "\n    ]");
     }
-    std::fprintf(f, "\n  }\n}\n");
+    std::fprintf(f, "\n  }");
+    write_metrics_key(f, last_metrics_json);
+    std::fprintf(f, "}\n");
     std::fclose(f);
     print_note("wrote " + json_path);
   }

@@ -46,14 +46,20 @@ struct SimPoint {
   double p50_us = 0;          ///< per-round latency, own broadcast -> deliver
   double p99_us = 0;
   std::uint64_t rounds = 0;
+  double wall_secs = 0;  ///< real time the run took (the virtual-time
+                         ///< rate is identical with/without tracing, so
+                         ///< the obs overhead gate compares wall clock)
 };
 
 SimPoint run_sim(std::size_t n, std::size_t window, DurationNs skew,
-                 DurationNs pace, DurationNs horizon) {
+                 DurationNs pace, DurationNs horizon,
+                 bool flight_recorder = true,
+                 std::string* metrics_out = nullptr) {
   api::ClusterOptions opt;
   opt.n = n;
   opt.window = window;
   opt.fabric = sim::FabricParams::tcp_ib();
+  opt.flight_recorder = flight_recorder;
   api::SimCluster cluster(opt);
   if (skew > 0) cluster.set_send_delay(1, skew);
 
@@ -83,10 +89,16 @@ SimPoint run_sim(std::size_t n, std::size_t window, DurationNs skew,
     });
   };
   for (NodeId id : cluster.live_nodes()) tick(id);
+  const auto wall0 = std::chrono::steady_clock::now();
   cluster.run_for(horizon);
+  const double wall_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  if (metrics_out != nullptr) *metrics_out = cluster.metrics_json();
 
   SimPoint out;
   out.window = window;
+  out.wall_secs = wall_secs;
   out.rounds = delivered;
   out.rounds_per_sec = static_cast<double>(delivered) / to_sec(horizon);
   if (latency_us.count() > 0) {
@@ -199,8 +211,12 @@ int main(int argc, char** argv) {
                p.rounds_per_sec, p.p50_us, p.p99_us,
                static_cast<unsigned long long>(p.rounds));
   }
-  for (const auto w : windows) {
-    const auto p = run_sim(n, static_cast<std::size_t>(w), 0, pace, horizon);
+  std::string sim_metrics_json;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const auto p = run_sim(n, static_cast<std::size_t>(windows[i]), 0, pace,
+                           horizon, /*flight_recorder=*/true,
+                           i + 1 == windows.size() ? &sim_metrics_json
+                                                   : nullptr);
     sim_clean.push_back(p);
     bench::row("%8s %6zu %16.0f %12.1f %12.1f %10llu", "no-skew", p.window,
                p.rounds_per_sec, p.p50_us, p.p99_us,
@@ -229,6 +245,46 @@ int main(int argc, char** argv) {
     bench::print_note("--windows omits 1 and/or 4: speedup/p99 gates "
                       "skipped");
   }
+
+  // ---- Observability overhead gate (tentpole acceptance: <= 5%) ----
+  // Virtual-time rates are identical with tracing on or off by
+  // construction, so this gate compares the WALL CLOCK of identical W=4
+  // workloads. Off/on runs alternate back-to-back and the gate takes the
+  // median of the per-pair ratios (same estimator as bench/wire_path.cpp:
+  // machine throughput drifts too much for independent best-of runs to
+  // resolve a small effect).
+  bench::print_title("Observability: flight-recorder overhead (wall clock)");
+  // Each timed run needs tens of ms of wall time or scheduler jitter
+  // swamps the effect being measured.
+  const DurationNs obs_horizon = ms(smoke ? 80 : 200);
+  const std::size_t obs_pairs = smoke ? 10 : 12;
+  Summary obs_ratios;
+  double obs_best_off = 0.0, obs_best_on = 0.0;  // min wall secs seen
+  // Discarded warmup: the first run pays allocator growth and page faults
+  // that would bias whichever configuration goes first.
+  (void)run_sim(n, 4, 0, pace, obs_horizon, false);
+  for (std::size_t pair = 0; pair < obs_pairs; ++pair) {
+    SimPoint off, on;
+    if (pair % 2 == 0) {
+      off = run_sim(n, 4, 0, pace, obs_horizon, false);
+      on = run_sim(n, 4, 0, pace, obs_horizon, true);
+    } else {
+      on = run_sim(n, 4, 0, pace, obs_horizon, true);
+      off = run_sim(n, 4, 0, pace, obs_horizon, false);
+    }
+    obs_ratios.add(on.wall_secs / off.wall_secs);
+    if (obs_best_off == 0.0 || off.wall_secs < obs_best_off) {
+      obs_best_off = off.wall_secs;
+    }
+    if (obs_best_on == 0.0 || on.wall_secs < obs_best_on) {
+      obs_best_on = on.wall_secs;
+    }
+  }
+  const double obs_overhead_pct = 100.0 * (obs_ratios.median() - 1.0);
+  bench::row("%6s %16s %16s %12s", "W", "off wall ms", "on wall ms",
+             "overhead");
+  bench::row("%6d %16.1f %16.1f %11.1f%%", 4, 1e3 * obs_best_off,
+             1e3 * obs_best_on, obs_overhead_pct);
 
   bench::print_title("Round pipelining (TCP localhost, real sockets)");
   bench::print_note("scheduling skew only; wall clock — reported, not "
@@ -321,8 +377,14 @@ int main(int argc, char** argv) {
                    tcp_skewed[i].rounds_per_sec);
     }
     std::fprintf(f,
-                 "\n    ],\n    \"speedup_w4_over_w1_skew\": %.2f\n  }\n}\n",
+                 "\n    ],\n    \"speedup_w4_over_w1_skew\": %.2f\n  },\n",
                  tcp_skew_speedup);
+    std::fprintf(f,
+                 "  \"obs_overhead\": {\"disabled_wall_secs\": %.4f, "
+                 "\"enabled_wall_secs\": %.4f, \"overhead_pct\": %.1f}",
+                 obs_best_off, obs_best_on, obs_overhead_pct);
+    bench::write_metrics_key(f, sim_metrics_json);
+    std::fprintf(f, "}\n");
     std::fclose(f);
     bench::print_note("wrote " + json_path);
   }
@@ -353,6 +415,13 @@ int main(int argc, char** argv) {
                  "FAIL: no-skew p99 round latency at W=4 (%.1fus) exceeds "
                  "1.25x the W=1 baseline (%.1fus)\n",
                  clean_w4->p99_us, clean_w1->p99_us);
+    rc = 1;
+  }
+  if (obs_overhead_pct > 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: flight-recorder overhead %.1f%% exceeds the 5%% "
+                 "budget (%.1fms wall enabled vs %.1fms disabled)\n",
+                 obs_overhead_pct, 1e3 * obs_best_on, 1e3 * obs_best_off);
     rc = 1;
   }
   return rc;

@@ -25,6 +25,7 @@ struct SmrRunResult {
   double agreement_mbps = 0.0;
   bool completed = false;
   bool converged = false;
+  std::string metrics_json;  ///< end-of-run unified metrics snapshot
 };
 
 SmrRunResult run_smr_kv(std::size_t n, const sim::FabricParams& fabric,
@@ -61,6 +62,7 @@ SmrRunResult run_smr_kv(std::size_t n, const sim::FabricParams& fabric,
   SmrRunResult out;
   out.completed = cluster.cluster().run_until_round_done(
       rounds - 1, sec(600));
+  out.metrics_json = cluster.cluster().metrics_json();
   if (!out.completed) return out;
   out.converged = cluster.converged();
   const double secs = to_sec(cluster.sim().now());
@@ -98,11 +100,13 @@ int main(int argc, char** argv) {
              "MB/s agreed", "replicas");
   bool all_ok = true;
   std::vector<std::string> json_rows;
+  std::string last_metrics_json;
   for (const std::int64_t n : sizes) {
     for (const std::int64_t vb : value_sizes) {
       const auto r = run_smr_kv(static_cast<std::size_t>(n),
                                 sim::FabricParams::infiniband(),
                                 static_cast<std::size_t>(vb), cmds, rounds);
+      if (!r.metrics_json.empty()) last_metrics_json = r.metrics_json;
       if (!r.completed) {
         bench::row("%4lld %12lld %14s", static_cast<long long>(n),
                    static_cast<long long>(vb), "stalled");
@@ -138,7 +142,9 @@ int main(int argc, char** argv) {
       std::fprintf(f, "%s%s\n", json_rows[i].c_str(),
                    i + 1 < json_rows.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ]");
+    bench::write_metrics_key(f, last_metrics_json);
+    std::fprintf(f, "}\n");
     std::fclose(f);
     bench::print_note("wrote " + json_path);
   }

@@ -4,6 +4,7 @@
 #include <span>
 
 #include "common/assert.hpp"
+#include "obs/schema.hpp"
 
 namespace allconcur::api {
 
@@ -19,7 +20,12 @@ SimCluster::SimCluster(ClusterOptions options)
     : options_(std::move(options)),
       model_(options_.fabric, options_.n + options_.max_joins),
       send_delay_(options_.n + options_.max_joins, 0),
-      next_join_id_(static_cast<NodeId>(options_.n)) {
+      next_join_id_(static_cast<NodeId>(options_.n)),
+      round_latency_(&metrics_.histogram(
+          "sim_round_latency_ns",
+          "A-broadcast to A-delivery latency per (node, round) on the "
+          "virtual clock",
+          obs::Unit::kNanoseconds)) {
   ALLCONCUR_ASSERT(options_.n >= 1, "cluster needs at least one node");
   ALLCONCUR_ASSERT(options_.window >= 1, "window must be at least 1");
   nodes_.resize(options_.n + options_.max_joins);
@@ -64,6 +70,14 @@ void SimCluster::create_node(NodeId id, View view, Round start_round) {
   eopts.fd_mode = options_.fd_mode;
   eopts.window = options_.window;
   eopts.fast_builder = options_.fast_builder;
+  if (options_.flight_recorder) {
+    node->recorder = std::make_unique<obs::FlightRecorder>(
+        options_.recorder_capacity, /*enabled=*/true);
+    // Events are stamped straight off the virtual clock — the recorder
+    // dereferences the simulator's own now_ on each record().
+    node->recorder->set_time_source(sim_.now_ptr());
+    eopts.recorder = node->recorder.get();
+  }
   node->engine = std::make_unique<Engine>(id, std::move(view),
                                           options_.builder, hooks, eopts,
                                           start_round);
@@ -71,6 +85,7 @@ void SimCluster::create_node(NodeId id, View view, Round start_round) {
   if (options_.fast_builder && options_.fallback_timeout > 0) {
     nodes_[id]->watchdog = std::make_unique<plus::FallbackTimer>(
         options_.fallback_timeout, options_.fallback_max_round_age);
+    nodes_[id]->watchdog->set_recorder(nodes_[id]->recorder.get());
     schedule_watchdog_tick(id);
   }
 }
@@ -238,6 +253,16 @@ void SimCluster::schedule_arrival(NodeId src, NodeId dst,
           ++chaos_corrupt_dropped_;
           return;
         }
+        // Silent corruption: a flipped byte survived the checksum. This
+        // is the invariant the chaos gate asserts never happens — ship
+        // the evidence (every node's timeline) with the first trip.
+        if (chaos_corrupt_delivered_ == 0 && nodes_[dst]->recorder) {
+          nodes_[dst]->recorder->record(
+              obs::EventKind::kInvariantTrip, parsed->round,
+              static_cast<std::uint64_t>(obs::TripCode::kCorruptDelivered),
+              src);
+          obs::dump_on_trip("corrupt_delivered", recorders());
+        }
         ++chaos_corrupt_delivered_;
         if (node->fd) node->fd->on_heartbeat(src, sim_.now());
         if (parsed->type != MsgType::kHeartbeat) {
@@ -255,6 +280,13 @@ void SimCluster::schedule_arrival(NodeId src, NodeId dst,
 
 void SimCluster::handle_delivery(NodeId id, const RoundResult& result) {
   Node& node = *nodes_[id];
+  // Round latency: this node's A-broadcast instant to now. The entry is
+  // kept (broadcast_time() serves it to latency harnesses post-delivery).
+  if (const auto it = node.bcast_times.find(result.round);
+      it != node.bcast_times.end()) {
+    round_latency_->record(static_cast<std::uint64_t>(
+        std::max<TimeNs>(0, sim_.now() - it->second)));
+  }
   // Membership changed: reconfigure the FD and activate any joiners.
   if (!result.joined.empty() || !result.removed.empty()) {
     if (node.fd && !node.engine->departed()) {
@@ -411,6 +443,56 @@ bool SimCluster::run_until_round_done(Round r, TimeNs deadline) {
     sim_.run_until(std::min(deadline, sim_.now() + chunk));
   }
 }
+
+const obs::FlightRecorder* SimCluster::recorder(NodeId id) const {
+  if (!exists(id)) return nullptr;
+  return nodes_[id]->recorder.get();
+}
+
+obs::FlightRecorder* SimCluster::recorder(NodeId id) {
+  if (!exists(id)) return nullptr;
+  return nodes_[id]->recorder.get();
+}
+
+std::vector<std::pair<std::string, const obs::FlightRecorder*>>
+SimCluster::recorders() const {
+  std::vector<std::pair<std::string, const obs::FlightRecorder*>> out;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (!exists(id) || !nodes_[id]->recorder) continue;
+    out.emplace_back("node" + std::to_string(id),
+                     nodes_[id]->recorder.get());
+  }
+  return out;
+}
+
+obs::Registry& SimCluster::metrics() {
+  obs::fill_engine_stats(metrics_, aggregate_stats());
+  if (options_.chaos) {
+    obs::fill_chaos_stats(metrics_, options_.chaos->stats());
+  }
+  metrics_
+      .gauge("sim_now_ns", "Virtual clock at snapshot time",
+             obs::Unit::kNanoseconds)
+      .set(sim_.now());
+  metrics_
+      .gauge("sim_live_nodes", "Live, activated nodes", obs::Unit::kNone)
+      .set(static_cast<std::int64_t>(live_nodes().size()));
+  metrics_
+      .counter("sim_corrupt_dropped",
+               "Chaos-corrupted frames the receive path detected and "
+               "dropped (checksum mismatch)",
+               obs::Unit::kFrames)
+      .set(chaos_corrupt_dropped_);
+  metrics_
+      .counter("sim_corrupt_delivered",
+               "Corrupted frames that decoded anyway — silent corruption; "
+               "the chaos gate asserts 0",
+               obs::Unit::kFrames)
+      .set(chaos_corrupt_delivered_);
+  return metrics_;
+}
+
+std::string SimCluster::metrics_json() { return metrics().to_json(2); }
 
 core::EngineStats SimCluster::aggregate_stats() const {
   core::EngineStats total;

@@ -16,6 +16,8 @@
 #include "chaos/scenario.hpp"
 #include "core/engine.hpp"
 #include "core/failure_detector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "plus/fallback_timer.hpp"
 #include "sim/network_model.hpp"
 #include "sim/simulator.hpp"
@@ -73,6 +75,13 @@ struct ClusterOptions {
   /// lowest-id live node automatically sponsors one standby join per
   /// removal, restoring the membership size (bounded by max_joins).
   bool auto_heal = false;
+
+  /// Per-node round flight recorder (timestamps on the virtual clock).
+  /// Off, every engine tap reduces to one predictable branch —
+  /// bench/round_pipeline gates the enabled-mode overhead at <= 5%.
+  bool flight_recorder = true;
+  /// Events retained per node (rounded up to a power of two).
+  std::size_t recorder_capacity = 1024;
 
   std::uint64_t seed = 1;
 };
@@ -156,8 +165,29 @@ class SimCluster {
   /// corruption must land here...
   std::uint64_t corrupt_dropped() const { return chaos_corrupt_dropped_; }
   /// ...and never here: corrupted frames that still decoded — silent
-  /// corruption. The chaos suites assert this stays zero.
+  /// corruption. The chaos suites assert this stays zero. The first such
+  /// delivery also trips an automatic flight-recorder dump (kInvariantTrip
+  /// + obs::dump_on_trip over every node).
   std::uint64_t corrupt_delivered() const { return chaos_corrupt_delivered_; }
+
+  /// Per-node flight recorder (null when ClusterOptions::flight_recorder
+  /// is off or the node does not exist).
+  const obs::FlightRecorder* recorder(NodeId id) const;
+  obs::FlightRecorder* recorder(NodeId id);
+  /// (label, recorder) pairs for every existing node — the argument
+  /// obs::dump_on_trip expects.
+  std::vector<std::pair<std::string, const obs::FlightRecorder*>>
+  recorders() const;
+
+  /// Unified metrics snapshot: aggregate engine counters, chaos injection
+  /// counters, and the cluster-level round-latency histogram, refreshed on
+  /// each call (same schema as TcpNode::metrics_json).
+  obs::Registry& metrics();
+  std::string metrics_json();
+
+  /// A-broadcast -> A-delivery latency per (node, round), on the virtual
+  /// clock. Only rounds this node broadcast in are recorded.
+  const obs::Histogram& round_latency() const { return *round_latency_; }
 
  private:
   struct Node {
@@ -171,6 +201,8 @@ class SimCluster {
     std::map<Round, TimeNs> bcast_times;
     /// Dual-mode round watchdog (shared policy, see plus/fallback_timer).
     std::unique_ptr<plus::FallbackTimer> watchdog;
+    /// Round flight recorder (virtual-clock timestamps); null when off.
+    std::unique_ptr<obs::FlightRecorder> recorder;
   };
 
   std::function<bool(NodeId, NodeId)> link_filter_;
@@ -199,6 +231,8 @@ class SimCluster {
   NodeId next_join_id_;
   std::uint64_t chaos_corrupt_dropped_ = 0;
   std::uint64_t chaos_corrupt_delivered_ = 0;
+  obs::Registry metrics_;
+  obs::Histogram* round_latency_;  // owned by metrics_; never null
 };
 
 }  // namespace allconcur::api

@@ -178,4 +178,18 @@ InjectionStats ScenarioEngine::stats() const {
   return stats_;
 }
 
+std::uint64_t ScenarioEngine::active_phase_mask(TimeNs now) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!epoch_) return 0;
+  const TimeNs t = now - *epoch_;
+  std::uint64_t mask = 0;
+  const auto& phases = scenario_.phases();
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    if (t >= phases[i].from && t < phases[i].until) {
+      mask |= 1ull << std::min<std::size_t>(i, 63);
+    }
+  }
+  return mask;
+}
+
 }  // namespace allconcur::chaos

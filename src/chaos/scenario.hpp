@@ -136,6 +136,13 @@ class ScenarioEngine {
 
   InjectionStats stats() const;
 
+  /// Bitmask of scenario phases whose [from, until) interval covers
+  /// `now` (bit i = phases()[i]; phases beyond 64 saturate into bit 63).
+  /// 0 before the epoch is pinned. Deployments record phase-set changes
+  /// into the flight recorder so a dump shows which faults were live
+  /// around each round.
+  std::uint64_t active_phase_mask(TimeNs now) const;
+
  private:
   Rng& link_rng(NodeId src, NodeId dst);
 

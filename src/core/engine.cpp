@@ -31,6 +31,7 @@ Engine::Engine(NodeId self, View view, GraphBuilder builder, Hooks hooks,
       builder_(std::move(builder)),
       hooks_(std::move(hooks)),
       options_(options),
+      rec_(options.recorder),
       base_round_(start_round),
       view_(std::make_shared<const View>(std::move(view))) {
   ALLCONCUR_ASSERT(hooks_.send && hooks_.deliver, "engine hooks required");
@@ -132,6 +133,8 @@ void Engine::open_round() {
     init_tracking(*st);
   }
   window_.push_back(std::move(st));
+  rec(obs::EventKind::kRoundOpen, r, window_.back()->fast ? 1 : 0,
+      window_.size());
 
   // Carry the inherited failure notifications into the fresh round
   // (Algorithm 1 lines 12-13): re-disseminate each pair under the new
@@ -278,6 +281,8 @@ void Engine::do_broadcast(RoundState& st) {
   } else {
     stats_.bcast_sent += send_to_successors(msg);
   }
+  rec(obs::EventKind::kBcastSent, st.round, msg.payload_bytes,
+      st.fast ? 1 : 0);
   check_termination(st);
 }
 
@@ -354,6 +359,8 @@ void Engine::on_message(NodeId from, const Message& msg) {
       return;
     }
     ++stats_.dropped_stale;
+    rec(obs::EventKind::kDroppedMsg, msg.round,
+        static_cast<std::uint64_t>(obs::DropReason::kStale), from);
     return;
   }
   RoundState* st = find_round(msg.round);
@@ -404,8 +411,14 @@ void Engine::park_future(NodeId from, const Message& msg) {
   }
   if (!replaying_ && msg.round >= base_round_ + options_.window) {
     ++stats_.dropped_ahead;
+    rec(obs::EventKind::kDroppedAhead, msg.round, from,
+        parkable ? 1 : 0);
   }
-  if (parkable) future_.emplace_back(from, msg);
+  if (parkable) {
+    rec(obs::EventKind::kParked, msg.round, from,
+        static_cast<std::uint64_t>(msg.type));
+    future_.emplace_back(from, msg);
+  }
 }
 
 void Engine::replay_parked() {
@@ -429,11 +442,15 @@ void Engine::handle_bcast(NodeId from, const Message& msg, RoundState& st) {
     // notifications from it must be ignored, or the FAIL-implies-relayed
     // inference of the tracking digraphs breaks.
     ++stats_.dropped_suspected;
+    rec(obs::EventKind::kDroppedMsg, msg.round,
+        static_cast<std::uint64_t>(obs::DropReason::kSuspectedOrigin), from);
     return;
   }
   const auto origin_rank = view_->rank_of(msg.origin);
   if (!origin_rank) {
     ++stats_.dropped_foreign;
+    rec(obs::EventKind::kDroppedMsg, msg.round,
+        static_cast<std::uint64_t>(obs::DropReason::kForeignEpoch), from);
     return;
   }
 
@@ -455,6 +472,8 @@ void Engine::handle_bcast(NodeId from, const Message& msg, RoundState& st) {
     // set was already fixed without m_origin — adding it now would break
     // the FWD/BWD set inferences. Count and drop.
     ++stats_.dropped_lost;
+    rec(obs::EventKind::kDroppedMsg, msg.round,
+        static_cast<std::uint64_t>(obs::DropReason::kLostRace), from);
     return;
   }
 
@@ -462,6 +481,7 @@ void Engine::handle_bcast(NodeId from, const Message& msg, RoundState& st) {
   st.msgs[*origin_rank] = msg.payload;
   st.msg_bytes[*origin_rank] = msg.payload_bytes;
   ++st.have_count;
+  rec(obs::EventKind::kMsgRecv, st.round, *origin_rank, via_fast ? 1 : 0);
 
   // Line 17-18: relay to our successors along the round's current overlay
   // (skipping the link it came from — that peer evidently has it; only
@@ -505,6 +525,7 @@ void Engine::rebroadcast_reliable(Round round, NodeId origin_global,
 void Engine::assist_fallback(RoundState& st) {
   if (st.assisted) return;
   st.assisted = true;
+  rec(obs::EventKind::kFallbackAssist, st.round, st.have_count);
   // A fast round completes only with the full view's message set, so we
   // hold every message — re-relaying them over G_R lets every fallen-back
   // peer terminate by receipt, with the identical (full) set. Must happen
@@ -528,6 +549,7 @@ void Engine::enter_fallback(RoundState& st) {
   }
   st.fast = false;
   st.fell_back = true;
+  rec(obs::EventKind::kFallbackEnter, st.round, st.have_count);
 
   // Re-execute reliably: our own broadcast must reach G_R. If it already
   // went out (over G_U), re-issue it as a ⟨BCAST⟩; if we have not
@@ -571,6 +593,7 @@ void Engine::initiate_fallback(RoundState& st) {
   if (!st.fast || st.complete || st.fallback_relayed) return;
   st.fallback_relayed = true;
   ++stats_.fallbacks_initiated;
+  rec(obs::EventKind::kFallbackInit, st.round, st.fallback_attempt);
   stats_.fallback_sent +=
       send_to_successors(Message::fallback(st.round, self_));
   enter_fallback(st);
@@ -594,6 +617,7 @@ void Engine::reflood_fallback(RoundState& st) {
 void Engine::handle_fallback(NodeId from, const Message& msg,
                              RoundState& st) {
   ++stats_.fallback_received;
+  rec(obs::EventKind::kFallbackRecv, msg.round, msg.detector, from);
   const std::uint32_t attempt = msg.detector;
   if (st.fallback_relayed && attempt <= st.fallback_attempt) {
     return;  // this trigger wave was already relayed and acted on
@@ -700,6 +724,7 @@ void Engine::on_round_timeout(Round r) {
     // their held messages / evidence / retention assists again.
     ++st->fallback_attempt;
     st->fallback_relayed = true;
+    rec(obs::EventKind::kFallbackInit, st->round, st->fallback_attempt);
     stats_.fallback_sent += send_to_successors(
         Message::fallback(st->round, self_, st->fallback_attempt));
     reflood_fallback(*st);
@@ -716,6 +741,7 @@ void Engine::on_suspect(NodeId suspect) {
   if (departed_) return;
   if (!view_->contains(suspect)) return;  // not (or no longer) a member
   // A suspicion raised now covers every currently open round.
+  rec(obs::EventKind::kSuspect, base_round_, suspect);
   learn_failure(suspect, self_, base_round_, /*disseminate=*/true);
   deliver_ready();
 }
@@ -752,6 +778,7 @@ void Engine::learn_failure(NodeId global_j, NodeId global_k, Round from_round,
     }
     if (!st->fails.insert({global_j, global_k}).second) continue;  // dup
     st->failed_rank[*rank_j] = true;
+    rec(obs::EventKind::kFailureLearned, st->round, global_j, global_k);
     if (disseminate) {
       // Line 22: R-broadcast the notification onward, tagged with each
       // round that learned it (every round needs its own failure stream;
@@ -823,7 +850,10 @@ void Engine::check_termination(RoundState& st) {
     // Fast-path early termination: all n messages arrived over G_U. No
     // tracking was ever consulted; the decided set is the full view by
     // construction, so it is trivially identical at every completer.
-    if (st.have_count == view_->size()) st.complete = true;
+    if (st.have_count == view_->size()) {
+      st.complete = true;
+      rec(obs::EventKind::kFastComplete, st.round, st.have_count);
+    }
     return;
   }
   if (st.active_tracking != 0) return;
@@ -848,6 +878,8 @@ void Engine::check_termination(RoundState& st) {
   // done here and delivered by deliver_ready() once every earlier round
   // delivered.
   st.complete = true;
+  rec(obs::EventKind::kComplete, st.round, st.have_count,
+      st.fell_back ? 1 : 0);
 }
 
 void Engine::deliver_ready() {
@@ -910,6 +942,8 @@ void Engine::deliver_front() {
     epoch_close_ = st.round + options_.window - 1;
   }
   ++stats_.rounds_completed;
+  rec(obs::EventKind::kDelivered, st.round, result.deliveries.size(),
+      st.fast ? 1 : 0);
   if (fast_path()) {
     // Counted by how the round actually delivered: rounds that opened
     // reliable outright (inherited failure notifications) are tracked

@@ -69,6 +69,7 @@
 #include "core/message.hpp"
 #include "core/tracking.hpp"
 #include "core/view.hpp"
+#include "obs/recorder.hpp"
 
 namespace allconcur::core {
 
@@ -116,6 +117,12 @@ struct EngineStats {
   /// failure-free fast-path run — the bench-asserted invariant that fast
   /// rounds skip the tracking machinery entirely.
   std::uint64_t tracking_resets = 0;
+  /// Encode-time accounting: wire bytes (header+payload) of every frame
+  /// handed to the send hook, counted once per destination. Excludes
+  /// transport-level extras (connection preambles, heartbeats) and still
+  /// counts frames the transport later drops (chaos, closed peer) — see
+  /// TcpNetStats::bytes_sent for the socket-side view and obs/schema.hpp
+  /// for the documented reconciliation.
   std::uint64_t bytes_sent = 0;
   /// Wire frames built: exactly one per message this engine emitted,
   /// regardless of the overlay out-degree (the zero-copy invariant).
@@ -149,6 +156,13 @@ struct EngineOptions {
   /// Requires FdMode::kPerfect (the paper's evaluation assumption; the
   /// ⋄P gate composes with tracked rounds only).
   GraphBuilder fast_builder;
+  /// Observability tap (may be null — the hot path then pays one
+  /// predictable branch per would-be event). The engine records round
+  /// lifecycle events (open/broadcast/receive/complete/fallback/deliver,
+  /// drops, parks, suspicions) against the recorder, which the owning
+  /// deployment timestamps via its clock (FlightRecorder::
+  /// set_time_source). Not owned.
+  obs::FlightRecorder* recorder = nullptr;
 };
 
 class Engine {
@@ -381,10 +395,17 @@ class Engine {
   void park_future(NodeId from, const Message& msg);
   void replay_parked();
 
+  /// Flight-recorder tap; nullptr when tracing is off (single branch).
+  void rec(obs::EventKind k, Round r, std::uint64_t a = 0,
+           std::uint64_t b = 0) {
+    if (rec_ != nullptr) rec_->record(k, r, a, b);
+  }
+
   NodeId self_;
   GraphBuilder builder_;
   Hooks hooks_;
   Options options_;
+  obs::FlightRecorder* rec_ = nullptr;
 
   /// Round of window_.front(): the oldest not-yet-delivered round.
   Round base_round_ = 0;

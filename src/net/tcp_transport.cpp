@@ -18,6 +18,7 @@
 #include <thread>
 
 #include "common/assert.hpp"
+#include "obs/schema.hpp"
 
 namespace allconcur::net {
 namespace {
@@ -55,8 +56,13 @@ constexpr std::size_t kCompactAt = 64 * 1024;
 }  // namespace
 
 TcpNode::TcpNode(TcpNodeOptions options, DeliverFn on_deliver)
-    : options_(std::move(options)), on_deliver_(std::move(on_deliver)) {
+    : options_(std::move(options)),
+      on_deliver_(std::move(on_deliver)),
+      recorder_(options_.recorder_capacity, options_.recorder_enabled) {
   if (!options_.builder) options_.builder = core::make_default_graph_builder();
+  // Events are stamped with the event-loop wake time: one clock read per
+  // wake covers every event it triggers (the wire path stays clean).
+  recorder_.set_time_source(&loop_now_);
 
   core::Engine::Hooks hooks;
   hooks.send = [this](NodeId dst, const core::FrameRef& frame) {
@@ -70,6 +76,7 @@ TcpNode::TcpNode(TcpNodeOptions options, DeliverFn on_deliver)
   eopts.fd_mode = options_.fd_mode;
   eopts.window = options_.window;
   eopts.fast_builder = options_.fast_builder;
+  eopts.recorder = &recorder_;
   engine_ = std::make_unique<core::Engine>(
       options_.self,
       core::View(options_.members, options_.builder, options_.fast_builder),
@@ -92,11 +99,14 @@ TcpNode::TcpNode(TcpNodeOptions options, DeliverFn on_deliver)
   if (options_.fast_builder && options_.fallback_timeout > 0) {
     watchdog_ = std::make_unique<plus::FallbackTimer>(
         options_.fallback_timeout, options_.fallback_max_round_age);
+    watchdog_->set_recorder(&recorder_);
   }
 }
 
 TcpNode::~TcpNode() {
   for (auto& [fd, conn] : conns_) ::close(fd);
+  for (auto& [fd, conn] : admin_conns_) ::close(fd);
+  if (admin_fd_ >= 0) ::close(admin_fd_);
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (event_fd_ >= 0) ::close(event_fd_);
   if (timer_fd_ >= 0) ::close(timer_fd_);
@@ -108,6 +118,7 @@ TcpNetStats TcpNode::net_stats() const {
   s.sendmsg_calls = net_.sendmsg_calls.load(std::memory_order_relaxed);
   s.frames_sent = net_.frames_sent.load(std::memory_order_relaxed);
   s.bytes_sent = net_.bytes_sent.load(std::memory_order_relaxed);
+  s.preamble_bytes = net_.preamble_bytes.load(std::memory_order_relaxed);
   s.partial_writes = net_.partial_writes.load(std::memory_order_relaxed);
   s.eagain_waits = net_.eagain_waits.load(std::memory_order_relaxed);
   s.frames_received = net_.frames_received.load(std::memory_order_relaxed);
@@ -226,15 +237,28 @@ void TcpNode::run() {
   }
 
   setup_listener();
+  setup_admin_listener();
   dial_successors();
 
   epoll_event events[64];
   while (!stop_.load(std::memory_order_acquire)) {
+    // One clock read per wake stamps every flight-recorder event this
+    // iteration produces.
+    loop_now_ = monotonic_now();
     // Commands may have been queued before the eventfd existed.
     drain_commands();
     int wait_ms = 50;
     if (options_.send_delay > 0 || options_.chaos) {
-      wait_ms = std::min(wait_ms, release_delayed(monotonic_now()));
+      wait_ms = std::min(wait_ms, release_delayed(loop_now_));
+    }
+    if (options_.chaos && recorder_.enabled()) {
+      // Phase-set transitions bracket the fault windows in a dump.
+      const std::uint64_t mask = options_.chaos->active_phase_mask(loop_now_);
+      if (mask != chaos_phase_mask_) {
+        chaos_phase_mask_ = mask;
+        recorder_.record(obs::EventKind::kChaosPhase,
+                         engine_->current_round(), mask);
+      }
     }
     if (watchdog_) {
       // Poll the round watchdog once per wake; cap the sleep so a stall
@@ -256,6 +280,15 @@ void TcpNode::run() {
       const int fd = events[i].data.fd;
       if (fd == listen_fd_) {
         on_accept();
+      } else if (fd == admin_fd_) {
+        on_admin_accept();
+      } else if (admin_conns_.count(fd) != 0) {
+        if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0 ||
+            !on_admin_io(fd, events[i].events)) {
+          epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+          ::close(fd);
+          admin_conns_.erase(fd);
+        }
       } else if (fd == event_fd_) {
         std::uint64_t buf;
         while (::read(event_fd_, &buf, 8) == 8) {
@@ -386,6 +419,14 @@ void TcpNode::queue_frame(NodeId dst, const core::FrameRef& frame) {
     // hook — one Action per outbound frame, drawn before any queueing.
     const chaos::Action act =
         options_.chaos->on_frame(options_.self, dst, monotonic_now());
+    if (act.drop || act.duplicate || act.corrupt || act.delay > 0) {
+      const std::uint64_t bits = (act.drop ? 1u : 0u) |
+                                 (act.duplicate ? 2u : 0u) |
+                                 (act.corrupt ? 4u : 0u) |
+                                 (act.delay > 0 ? 8u : 0u);
+      recorder_.record(obs::EventKind::kChaosInject, engine_->current_round(),
+                       dst, bits);
+    }
     if (act.drop) return;
     if (act.corrupt) out = core::Frame::corrupt_copy(*frame, act.corrupt_at);
     duplicate = act.duplicate;
@@ -459,6 +500,7 @@ void TcpNode::advance_tx(Conn& conn, std::size_t sent) {
     const std::size_t take =
         std::min(sent, conn.preamble.size() - conn.preamble_sent);
     conn.preamble_sent += take;
+    net_.preamble_bytes.fetch_add(take, std::memory_order_relaxed);
     sent -= take;
   }
   while (sent > 0) {
@@ -610,6 +652,151 @@ void TcpNode::stop() {
   stop_.store(true, std::memory_order_release);
   const std::uint64_t one = 1;
   [[maybe_unused]] const ssize_t n = ::write(event_fd_, &one, 8);
+}
+
+// ---------------------------------------------------------------------------
+// Introspection plane. Entirely off the wire path: its own listener, its
+// own connection map, request/response handled in at most a few wakes.
+// ---------------------------------------------------------------------------
+
+std::string TcpNode::metrics_json() {
+  obs::fill_engine_stats(metrics_, engine_->stats());
+  obs::fill_net_stats(metrics_, net_stats());
+  if (options_.chaos) obs::fill_chaos_stats(metrics_, options_.chaos->stats());
+  metrics_
+      .gauge("node_rounds_completed", "Rounds A-delivered by this node",
+             obs::Unit::kRounds)
+      .set(static_cast<std::int64_t>(rounds_completed()));
+  metrics_
+      .gauge("node_pending_bytes",
+             "Submitted but not yet A-broadcast bytes (backpressure signal)",
+             obs::Unit::kBytes)
+      .set(static_cast<std::int64_t>(pending_bytes()));
+  return metrics_.to_json(2);
+}
+
+std::string TcpNode::metrics_prometheus() {
+  metrics_json();  // refresh the registry; discard the JSON rendering
+  return metrics_.to_prometheus();
+}
+
+void TcpNode::setup_admin_listener() {
+  if (options_.admin_port == 0) return;
+  admin_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  ALLCONCUR_ASSERT(admin_fd_ >= 0, "socket() failed (admin)");
+  const int one = 1;
+  setsockopt(admin_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port =
+      htons(static_cast<std::uint16_t>(options_.admin_port + options_.self));
+  ALLCONCUR_ASSERT(::bind(admin_fd_, reinterpret_cast<sockaddr*>(&addr),
+                          sizeof(addr)) == 0,
+                   "bind() failed (admin port in use?)");
+  ALLCONCUR_ASSERT(::listen(admin_fd_, 16) == 0, "listen() failed (admin)");
+  set_nonblocking(admin_fd_);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = admin_fd_;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, admin_fd_, &ev);
+}
+
+void TcpNode::on_admin_accept() {
+  for (;;) {
+    const int fd = ::accept(admin_fd_, nullptr, nullptr);
+    if (fd < 0) return;
+    set_nonblocking(fd);
+    admin_conns_[fd] = AdminConn{};
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+  }
+}
+
+std::string TcpNode::admin_body(const std::string& path, bool& ok) {
+  ok = true;
+  const std::string label = "node" + std::to_string(options_.self);
+  if (path == "/metrics") return metrics_prometheus();
+  if (path == "/metrics.json") return metrics_json();
+  if (path == "/recorder") return recorder_.dump_json(label);
+  if (path == "/recorder.txt") return recorder_.dump_text(label);
+  if (path == "/healthz") return "ok\n";
+  ok = false;
+  return "unknown path: " + path +
+         " (try /metrics /metrics.json /recorder /recorder.txt /healthz)\n";
+}
+
+bool TcpNode::on_admin_io(int fd, std::uint32_t events) {
+  const auto it = admin_conns_.find(fd);
+  if (it == admin_conns_.end()) return false;
+  AdminConn& ac = it->second;
+
+  if (!ac.responding && (events & EPOLLIN) != 0) {
+    char buf[4096];
+    for (;;) {
+      const ssize_t got = ::read(fd, buf, sizeof(buf));
+      if (got > 0) {
+        ac.request.append(buf, static_cast<std::size_t>(got));
+        if (ac.request.size() > 64 * 1024) return false;  // abusive client
+      } else if (got == 0) {
+        // EOF before a full request: nothing sensible to answer.
+        if (ac.request.find("\r\n") == std::string::npos) return false;
+        break;
+      } else if (errno == EINTR) {
+        continue;
+      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      } else {
+        return false;
+      }
+    }
+    // One-shot request: the GET line is everything we need, so respond as
+    // soon as it is complete (headers, if any, are ignored).
+    const std::size_t eol = ac.request.find("\r\n");
+    if (eol == std::string::npos) return true;  // keep reading
+    const std::string line = ac.request.substr(0, eol);
+    std::string pth = "/";
+    if (line.rfind("GET ", 0) == 0) {
+      const std::size_t sp = line.find(' ', 4);
+      pth = line.substr(4, sp == std::string::npos ? std::string::npos
+                                                   : sp - 4);
+    }
+    bool found = false;
+    const std::string body = admin_body(pth, found);
+    const char* status = found ? "200 OK" : "404 Not Found";
+    const char* ctype = (pth == "/metrics.json" || pth == "/recorder")
+                            ? "application/json"
+                            : "text/plain; charset=utf-8";
+    ac.response = "HTTP/1.0 " + std::string(status) +
+                  "\r\nContent-Type: " + ctype +
+                  "\r\nContent-Length: " + std::to_string(body.size()) +
+                  "\r\nConnection: close\r\n\r\n" + body;
+    ac.responding = true;
+    epoll_event ev{};
+    ev.events = EPOLLOUT;
+    ev.data.fd = fd;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  }
+
+  if (ac.responding && (events & EPOLLOUT) != 0) {
+    while (ac.sent < ac.response.size()) {
+      const ssize_t put = ::send(fd, ac.response.data() + ac.sent,
+                                 ac.response.size() - ac.sent, MSG_NOSIGNAL);
+      if (put > 0) {
+        ac.sent += static_cast<std::size_t>(put);
+      } else if (put < 0 && errno == EINTR) {
+        continue;
+      } else if (put < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return true;  // kernel buffer full; wait for the next EPOLLOUT
+      } else {
+        return false;
+      }
+    }
+    return false;  // fully sent: close (HTTP/1.0, Connection: close)
+  }
+  return true;
 }
 
 }  // namespace allconcur::net

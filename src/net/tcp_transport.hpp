@@ -32,6 +32,8 @@
 #include "chaos/scenario.hpp"
 #include "core/engine.hpp"
 #include "core/failure_detector.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
 #include "plus/fallback_timer.hpp"
 
 namespace allconcur::net {
@@ -78,6 +80,18 @@ struct TcpNodeOptions {
   /// SO_SNDBUF for outbound (successor) sockets; 0 keeps the OS default.
   /// Tests shrink this to force partial vectored writes (backpressure).
   int sndbuf_bytes = 0;
+  /// Introspection listener: node i serves HTTP/1.0 GETs ("/metrics",
+  /// "/metrics.json", "/recorder", "/healthz") on admin_port + i. 0
+  /// disables the listener (metrics and the recorder stay readable
+  /// in-process). Consumed by tools/allconcur_inspect.
+  std::uint16_t admin_port = 0;
+  /// Flight-recorder ring size (events per node; rounded up to a power
+  /// of two). The ring is fixed-allocation: old events overwrite.
+  std::size_t recorder_capacity = 1024;
+  /// Master switch for round tracing. Off, every engine-side tap reduces
+  /// to one predictable branch (bench/wire_path gates the enabled-mode
+  /// overhead at <= 5%).
+  bool recorder_enabled = true;
 };
 
 /// Wire-level transport counters (snapshot; safe to read from any thread).
@@ -85,6 +99,10 @@ struct TcpNetStats {
   std::uint64_t sendmsg_calls = 0;    ///< flush syscalls issued
   std::uint64_t frames_sent = 0;      ///< frames fully transmitted
   std::uint64_t bytes_sent = 0;       ///< payload+header bytes on the wire
+  /// Connection-hello bytes within bytes_sent. With heartbeats off and no
+  /// chaos drops, bytes_sent == EngineStats::bytes_sent + preamble_bytes
+  /// once all queues flush (asserted in net_tcp_test; see obs/schema.hpp).
+  std::uint64_t preamble_bytes = 0;
   std::uint64_t partial_writes = 0;   ///< short sendmsg (kernel backpressure)
   std::uint64_t eagain_waits = 0;     ///< flushes parked on EPOLLOUT
   std::uint64_t frames_received = 0;
@@ -131,6 +149,18 @@ class TcpNode {
     return pending_bytes_.load(std::memory_order_acquire);
   }
 
+  /// Round flight recorder (per node). Reading it while run() is live is
+  /// inherently racy — snapshot-quality only, same caveat as stats().
+  const obs::FlightRecorder& recorder() const { return recorder_; }
+  obs::FlightRecorder& recorder() { return recorder_; }
+
+  /// Refreshes the unified metrics registry from the engine / wire /
+  /// chaos counters and renders it. Safe from any thread (counter reads
+  /// are relaxed snapshots, like stats()).
+  std::string metrics_json();
+  std::string metrics_prometheus();
+  obs::Registry& metrics() { return metrics_; }
+
  private:
   struct Conn {
     int fd = -1;
@@ -156,6 +186,13 @@ class TcpNode {
   };
 
   void setup_listener();
+  void setup_admin_listener();
+  void on_admin_accept();
+  /// Drives one admin connection through request-parse -> respond ->
+  /// close; returns false when the connection is done (caller erases).
+  bool on_admin_io(int fd, std::uint32_t events);
+  /// Builds the response body for an admin GET path ("/metrics", ...).
+  std::string admin_body(const std::string& path, bool& ok);
   void dial_successors();
   void dial(NodeId peer);
   void on_accept();
@@ -198,15 +235,35 @@ class TcpNode {
   int listen_fd_ = -1;
   int event_fd_ = -1;
   int timer_fd_ = -1;
+  int admin_fd_ = -1;                  // introspection listener (optional)
   std::map<int, Conn> conns_;          // by socket fd
   std::map<NodeId, int> out_by_peer_;  // successor -> socket fd
   std::vector<int> dirty_fds_;         // conns with frames queued this wake
+
+  /// One short-lived introspection connection: read the GET line, write
+  /// the whole response, close. Never touches the protocol wire path.
+  struct AdminConn {
+    std::string request;
+    std::string response;
+    std::size_t sent = 0;
+    bool responding = false;
+  };
+  std::map<int, AdminConn> admin_conns_;
+
+  // Observability plane. loop_now_ is the event-loop wake timestamp the
+  // recorder stamps events with — one clock_gettime per wake, not per
+  // event (the wire path stays syscall-free).
+  obs::FlightRecorder recorder_;
+  obs::Registry metrics_;
+  TimeNs loop_now_ = 0;
+  std::uint64_t chaos_phase_mask_ = 0;  ///< last recorded phase set
 
   // Wire counters; relaxed atomics so tests can snapshot while running.
   struct {
     std::atomic<std::uint64_t> sendmsg_calls{0};
     std::atomic<std::uint64_t> frames_sent{0};
     std::atomic<std::uint64_t> bytes_sent{0};
+    std::atomic<std::uint64_t> preamble_bytes{0};
     std::atomic<std::uint64_t> partial_writes{0};
     std::atomic<std::uint64_t> eagain_waits{0};
     std::atomic<std::uint64_t> frames_received{0};

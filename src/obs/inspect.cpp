@@ -1,0 +1,85 @@
+#include "obs/inspect.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace allconcur::obs {
+
+namespace {
+
+/// Reads until EOF or timeout; the admin server closes after the body.
+bool read_all(int fd, int timeout_ms, std::string& out) {
+  char buf[4096];
+  for (;;) {
+    pollfd p{fd, POLLIN, 0};
+    const int rv = ::poll(&p, 1, timeout_ms);
+    if (rv <= 0) return false;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) return false;
+    if (n == 0) return true;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+std::optional<std::string> admin_fetch(std::uint16_t port,
+                                       const std::string& path,
+                                       int timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return std::nullopt;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string resp;
+  const bool ok = read_all(fd, timeout_ms, resp);
+  ::close(fd);
+  if (!ok) return std::nullopt;
+  // "HTTP/1.0 200 OK\r\n...headers...\r\n\r\n<body>"
+  if (resp.rfind("HTTP/", 0) != 0) return std::nullopt;
+  const std::size_t sp = resp.find(' ');
+  if (sp == std::string::npos || resp.compare(sp + 1, 3, "200") != 0) {
+    return std::nullopt;
+  }
+  const std::size_t body = resp.find("\r\n\r\n");
+  if (body == std::string::npos) return std::nullopt;
+  return resp.substr(body + 4);
+}
+
+int run_inspect(std::uint16_t port, const std::string& path, std::FILE* out) {
+  const auto body = admin_fetch(port, path);
+  if (!body) {
+    std::fprintf(stderr,
+                 "allconcur_inspect: GET 127.0.0.1:%u %s failed "
+                 "(is the node running with --admin-port?)\n",
+                 static_cast<unsigned>(port), path.c_str());
+    return 1;
+  }
+  std::fwrite(body->data(), 1, body->size(), out);
+  if (!body->empty() && body->back() != '\n') std::fputc('\n', out);
+  return 0;
+}
+
+}  // namespace allconcur::obs

@@ -1,0 +1,27 @@
+// Introspection client for the TcpNode admin endpoint.
+//
+// The admin listener speaks minimal HTTP/1.0 (GET only, loopback only)
+// so it is equally reachable from `curl`, from this client, and from the
+// `allconcur_inspect` CLI — which is a thin main() over run_inspect(), so
+// net_tcp_test exercising run_inspect() runs the tool's actual code path
+// against a live node.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+
+namespace allconcur::obs {
+
+/// Blocking HTTP/1.0 GET against 127.0.0.1:`port`. Returns the response
+/// body on a 200, nullopt on connect/IO failure or non-200 status.
+std::optional<std::string> admin_fetch(std::uint16_t port,
+                                       const std::string& path,
+                                       int timeout_ms = 2000);
+
+/// The `allconcur_inspect` entry point: fetches `path` from the admin
+/// port and writes the body to `out`. Returns a process exit code.
+int run_inspect(std::uint16_t port, const std::string& path, std::FILE* out);
+
+}  // namespace allconcur::obs

@@ -1,0 +1,271 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace allconcur::obs {
+
+const char* unit_name(Unit u) {
+  switch (u) {
+    case Unit::kNone: return "";
+    case Unit::kBytes: return "bytes";
+    case Unit::kNanoseconds: return "ns";
+    case Unit::kMessages: return "messages";
+    case Unit::kFrames: return "frames";
+    case Unit::kRounds: return "rounds";
+    case Unit::kEvents: return "events";
+  }
+  return "";
+}
+
+std::uint64_t Histogram::bucket_lo(std::size_t i) {
+  if (i < kSubBuckets) return i;
+  const std::uint64_t octave = (i - kSubBuckets) / kSubBuckets + kSubBits;
+  const std::uint64_t sub = (i - kSubBuckets) % kSubBuckets;
+  return (kSubBuckets + sub) << (octave - kSubBits);
+}
+
+std::uint64_t Histogram::bucket_hi(std::size_t i) {
+  if (i < kSubBuckets) return i + 1;
+  const std::uint64_t octave = (i - kSubBuckets) / kSubBuckets + kSubBits;
+  const std::uint64_t lo = bucket_lo(i);
+  const std::uint64_t hi = lo + (1ull << (octave - kSubBits));
+  return hi > lo ? hi : ~0ull;  // top bucket's bound wraps past 2^64
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.overflow = overflow_.load(std::memory_order_relaxed);
+  const std::uint64_t mn = min_.load(std::memory_order_relaxed);
+  s.min = (mn == ~0ull) ? 0 : mn;
+  s.max = max_.load(std::memory_order_relaxed);
+  s.buckets.resize(kBucketCount);
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Same rank convention as common::Summary: position q*(count-1) in the
+  // sorted sample, interpolated — here linearly within the covering
+  // bucket, which bounds the error by the bucket width (<= 1/kSubBuckets
+  // relative).
+  const double target = q * static_cast<double>(count - 1);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    const std::uint64_t c = buckets[i];
+    if (c == 0) continue;
+    // Ranks [cum, cum + c - 1] live in this bucket.
+    if (target <= static_cast<double>(cum + c - 1)) {
+      const double lo = static_cast<double>(bucket_lo(i));
+      const double hi = static_cast<double>(bucket_hi(i));
+      if (c == 1) return lo;
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(c - 1);
+      return lo + frac * (hi - 1.0 - lo);
+    }
+    cum += c;
+  }
+  return static_cast<double>(max);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           Unit unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(name);
+  if (it != index_.end() && it->second.first == Kind::kCounter) {
+    return counters_[it->second.second].second;
+  }
+  counters_.emplace_back(std::piecewise_construct,
+                         std::forward_as_tuple(Desc{name, help, unit}),
+                         std::forward_as_tuple());
+  index_[name] = {Kind::kCounter, counters_.size() - 1};
+  return counters_.back().second;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       Unit unit) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(name);
+  if (it != index_.end() && it->second.first == Kind::kGauge) {
+    return gauges_[it->second.second].second;
+  }
+  gauges_.emplace_back(std::piecewise_construct,
+                       std::forward_as_tuple(Desc{name, help, unit}),
+                       std::forward_as_tuple());
+  index_[name] = {Kind::kGauge, gauges_.size() - 1};
+  return gauges_.back().second;
+}
+
+Histogram& Registry::histogram(const std::string& name, const std::string& help,
+                               Unit unit, std::uint64_t max_trackable) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(name);
+  if (it != index_.end() && it->second.first == Kind::kHistogram) {
+    return histograms_[it->second.second].second;
+  }
+  histograms_.emplace_back(std::piecewise_construct,
+                           std::forward_as_tuple(Desc{name, help, unit}),
+                           std::forward_as_tuple(max_trackable));
+  index_[name] = {Kind::kHistogram, histograms_.size() - 1};
+  return histograms_.back().second;
+}
+
+const Counter* Registry::find_counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(name);
+  if (it == index_.end() || it->second.first != Kind::kCounter) return nullptr;
+  return &counters_[it->second.second].second;
+}
+
+const Gauge* Registry::find_gauge(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(name);
+  if (it == index_.end() || it->second.first != Kind::kGauge) return nullptr;
+  return &gauges_[it->second.second].second;
+}
+
+const Histogram* Registry::find_histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(name);
+  if (it == index_.end() || it->second.first != Kind::kHistogram)
+    return nullptr;
+  return &histograms_[it->second.second].second;
+}
+
+namespace {
+
+void json_escape_into(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Registry::to_json(int indent) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string inner =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent) + 2, ' ') : "";
+  const char* nl = indent > 0 ? "\n" : "";
+  std::string out = "{";
+  out += nl;
+  bool first = true;
+  // index_ is name-sorted, so the output is stable across runs.
+  for (const auto& [name, where] : index_) {
+    if (!first) {
+      out += ",";
+      out += nl;
+    }
+    first = false;
+    out += inner;
+    out += '"';
+    json_escape_into(out, name);
+    out += "\": {";
+    const auto emit_desc = [&](const Desc& d, const char* type) {
+      out += "\"type\": \"";
+      out += type;
+      out += "\", \"unit\": \"";
+      out += unit_name(d.unit);
+      out += "\"";
+    };
+    switch (where.first) {
+      case Kind::kCounter: {
+        const auto& [desc, c] = counters_[where.second];
+        emit_desc(desc, "counter");
+        out += ", \"value\": " + std::to_string(c.value());
+        break;
+      }
+      case Kind::kGauge: {
+        const auto& [desc, g] = gauges_[where.second];
+        emit_desc(desc, "gauge");
+        out += ", \"value\": " + std::to_string(g.value());
+        break;
+      }
+      case Kind::kHistogram: {
+        const auto& [desc, h] = histograms_[where.second];
+        emit_desc(desc, "histogram");
+        const auto s = h.snapshot();
+        out += ", \"count\": " + std::to_string(s.count);
+        out += ", \"sum\": " + std::to_string(s.sum);
+        out += ", \"min\": " + std::to_string(s.min);
+        out += ", \"max\": " + std::to_string(s.max);
+        out += ", \"overflow\": " + std::to_string(s.overflow);
+        out += ", \"p50\": " + fmt_double(s.quantile(0.5));
+        out += ", \"p90\": " + fmt_double(s.quantile(0.9));
+        out += ", \"p99\": " + fmt_double(s.quantile(0.99));
+        break;
+      }
+    }
+    out += "}";
+  }
+  out += nl;
+  out += pad + "}";
+  return out;
+}
+
+std::string Registry::to_prometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  const auto header = [&](const Desc& d, const char* type) {
+    out += "# HELP allconcur_" + d.name + " " + d.help;
+    if (d.unit != Unit::kNone) {
+      out += " [";
+      out += unit_name(d.unit);
+      out += "]";
+    }
+    out += "\n# TYPE allconcur_" + d.name + " " + type + "\n";
+  };
+  for (const auto& [name, where] : index_) {
+    switch (where.first) {
+      case Kind::kCounter: {
+        const auto& [desc, c] = counters_[where.second];
+        header(desc, "counter");
+        out += "allconcur_" + name + " " + std::to_string(c.value()) + "\n";
+        break;
+      }
+      case Kind::kGauge: {
+        const auto& [desc, g] = gauges_[where.second];
+        header(desc, "gauge");
+        out += "allconcur_" + name + " " + std::to_string(g.value()) + "\n";
+        break;
+      }
+      case Kind::kHistogram: {
+        const auto& [desc, h] = histograms_[where.second];
+        header(desc, "summary");
+        const auto s = h.snapshot();
+        for (double q : {0.5, 0.9, 0.99}) {
+          out += "allconcur_" + name + "{quantile=\"" + fmt_double(q) + "\"} " +
+                 fmt_double(s.quantile(q)) + "\n";
+        }
+        out += "allconcur_" + name + "_sum " + std::to_string(s.sum) + "\n";
+        out += "allconcur_" + name + "_count " + std::to_string(s.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace allconcur::obs

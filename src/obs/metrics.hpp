@@ -1,0 +1,206 @@
+// Unified metrics plane: named counters, gauges and fixed-allocation
+// log-bucketed histograms behind one registry with JSON and
+// Prometheus-text exposition.
+//
+// Design constraints (ROADMAP items 3/4 both consume this):
+//   * wait-free single-writer increments — every mutation is one relaxed
+//     atomic op on a fixed slot, no locks, no allocation after
+//     registration;
+//   * snapshot-on-read — readers copy the bucket array under relaxed
+//     loads; a torn read across buckets skews a quantile by at most the
+//     in-flight increments, never corrupts state;
+//   * fixed allocation — a histogram owns a flat power-of-2 bucket array
+//     (HDR-style: exact below 2^kSubBits, then kSubBuckets linear
+//     sub-buckets per octave, relative error <= 1/kSubBuckets ~ 3%),
+//     sized once at construction and never resized.
+//
+// The registry is the schema: every metric carries a help string and a
+// unit, so the scattered `EngineStats` / `TcpNetStats` / chaos counters
+// get documented semantics when mirrored in (see obs/schema.hpp — in
+// particular the engine-vs-net bytes_sent reconciliation).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace allconcur::obs {
+
+/// The unit a metric's value is denominated in; part of the schema and
+/// rendered into both expositions.
+enum class Unit : std::uint8_t {
+  kNone,
+  kBytes,
+  kNanoseconds,
+  kMessages,
+  kFrames,
+  kRounds,
+  kEvents,
+};
+
+const char* unit_name(Unit u);
+
+/// Monotonic counter. `add` is the live-increment path; `set` exists for
+/// mirroring an externally-maintained cumulative counter (EngineStats and
+/// friends) into the registry at snapshot time.
+class Counter {
+ public:
+  void add(std::uint64_t d = 1) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void set(std::uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time signed value (queue depths, window occupancy, ...).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log-bucketed histogram over uint64 values.
+///
+/// Bucketing: values below kSubBuckets are exact (one bucket per value);
+/// a value v >= kSubBuckets with msb m lands in one of kSubBuckets linear
+/// sub-buckets of the octave [2^m, 2^(m+1)), so the recorded value is
+/// known to within a factor of 1/kSubBuckets. Values above max_trackable
+/// are clamped into max_trackable's bucket and counted as overflow.
+class Histogram {
+ public:
+  static constexpr unsigned kSubBits = 5;
+  static constexpr std::uint64_t kSubBuckets = 1ull << kSubBits;
+  // Indices: [0, kSubBuckets) exact values, then 32 sub-buckets for each
+  // octave msb = kSubBits..63.
+  static constexpr std::size_t kBucketCount =
+      kSubBuckets + (64 - kSubBits) * kSubBuckets;
+
+  explicit Histogram(std::uint64_t max_trackable = ~0ull)
+      : max_trackable_(max_trackable) {}
+
+  /// Wait-free: one relaxed fetch_add per slot touched.
+  void record(std::uint64_t v) {
+    if (v > max_trackable_) {
+      overflow_.fetch_add(1, std::memory_order_relaxed);
+      v = max_trackable_;
+    }
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    // Single-writer min/max: load + store (no CAS needed under the
+    // registry's one-writer-per-metric discipline; racing writers only
+    // risk a slightly stale extreme, never corruption).
+    const std::uint64_t mn = min_.load(std::memory_order_relaxed);
+    if (v < mn) min_.store(v, std::memory_order_relaxed);
+    const std::uint64_t mx = max_.load(std::memory_order_relaxed);
+    if (v > mx) max_.store(v, std::memory_order_relaxed);
+  }
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;   ///< 0 when empty
+    std::uint64_t max = 0;
+    std::uint64_t overflow = 0;  ///< records clamped to max_trackable
+    std::vector<std::uint64_t> buckets;  ///< dense, kBucketCount entries
+
+    /// Rank-interpolated quantile (same convention as
+    /// common::Summary::quantile: position q*(count-1), linearly
+    /// interpolated — here within the covering bucket). 0 when empty.
+    double quantile(double q) const;
+    double mean() const {
+      return count ? static_cast<double>(sum) / static_cast<double>(count)
+                   : 0.0;
+    }
+  };
+
+  Snapshot snapshot() const;
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t overflow_count() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max_trackable() const { return max_trackable_; }
+
+  static std::size_t bucket_index(std::uint64_t v) {
+    if (v < kSubBuckets) return static_cast<std::size_t>(v);
+    const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
+    const unsigned shift = msb - kSubBits;
+    const std::uint64_t sub = (v >> shift) & (kSubBuckets - 1);
+    return static_cast<std::size_t>(kSubBuckets +
+                                    (msb - kSubBits) * kSubBuckets + sub);
+  }
+  /// Inclusive lower bound of bucket i.
+  static std::uint64_t bucket_lo(std::size_t i);
+  /// Exclusive upper bound of bucket i (saturates at uint64 max).
+  static std::uint64_t bucket_hi(std::size_t i);
+
+ private:
+  std::uint64_t max_trackable_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~0ull};
+  std::atomic<std::uint64_t> max_{0};
+  std::atomic<std::uint64_t> overflow_{0};
+  std::atomic<std::uint64_t> buckets_[kBucketCount] = {};
+};
+
+/// Name -> metric registry with stable addresses: registering returns a
+/// reference that stays valid for the registry's lifetime, so hot paths
+/// capture the pointer once and never look up again. Registration takes a
+/// mutex (rare); increments on the returned objects are wait-free.
+/// Re-registering an existing name returns the same object (help/unit
+/// from the first registration win).
+class Registry {
+ public:
+  Counter& counter(const std::string& name, const std::string& help,
+                   Unit unit = Unit::kNone);
+  Gauge& gauge(const std::string& name, const std::string& help,
+               Unit unit = Unit::kNone);
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       Unit unit = Unit::kNone,
+                       std::uint64_t max_trackable = ~0ull);
+
+  /// nullptr if `name` is not a registered counter (ditto below).
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  /// One JSON object, keys sorted: counters/gauges as
+  /// {"type","unit","help","value"}, histograms additionally with
+  /// count/sum/min/max/overflow and p50/p90/p99.
+  std::string to_json(int indent = 0) const;
+
+  /// Prometheus text exposition (metrics prefixed `allconcur_`;
+  /// histograms rendered summary-style with quantile labels).
+  std::string to_prometheus() const;
+
+ private:
+  struct Desc {
+    std::string name;
+    std::string help;
+    Unit unit;
+  };
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+  mutable std::mutex mu_;
+  std::deque<std::pair<Desc, Counter>> counters_;
+  std::deque<std::pair<Desc, Gauge>> gauges_;
+  std::deque<std::pair<Desc, Histogram>> histograms_;
+  std::map<std::string, std::pair<Kind, std::size_t>> index_;
+};
+
+}  // namespace allconcur::obs

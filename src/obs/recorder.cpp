@@ -1,0 +1,165 @@
+#include "obs/recorder.hpp"
+
+#include <sys/stat.h>
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+
+namespace allconcur::obs {
+
+const char* event_name(EventKind k) {
+  switch (k) {
+    case EventKind::kRoundOpen: return "round_open";
+    case EventKind::kBcastSent: return "bcast_sent";
+    case EventKind::kMsgRecv: return "msg_recv";
+    case EventKind::kFastComplete: return "fast_complete";
+    case EventKind::kComplete: return "complete";
+    case EventKind::kFallbackInit: return "fallback_init";
+    case EventKind::kFallbackRecv: return "fallback_recv";
+    case EventKind::kFallbackEnter: return "fallback_enter";
+    case EventKind::kFallbackAssist: return "fallback_assist";
+    case EventKind::kDelivered: return "delivered";
+    case EventKind::kFailureLearned: return "failure_learned";
+    case EventKind::kSuspect: return "suspect";
+    case EventKind::kParked: return "parked";
+    case EventKind::kDroppedAhead: return "dropped_ahead";
+    case EventKind::kDroppedMsg: return "dropped_msg";
+    case EventKind::kTimerArm: return "timer_arm";
+    case EventKind::kTimerRearm: return "timer_rearm";
+    case EventKind::kTimerFire: return "timer_fire";
+    case EventKind::kChaosInject: return "chaos_inject";
+    case EventKind::kChaosPhase: return "chaos_phase";
+    case EventKind::kInvariantTrip: return "invariant_trip";
+  }
+  return "unknown";
+}
+
+const char* drop_reason_name(DropReason r) {
+  switch (r) {
+    case DropReason::kStale: return "stale";
+    case DropReason::kSuspectedOrigin: return "suspected_origin";
+    case DropReason::kForeignEpoch: return "foreign_epoch";
+    case DropReason::kLostRace: return "lost_race";
+  }
+  return "unknown";
+}
+
+const char* trip_code_name(TripCode c) {
+  switch (c) {
+    case TripCode::kSmrHashDivergence: return "smr_hash_divergence";
+    case TripCode::kCorruptDelivered: return "corrupt_delivered";
+    case TripCode::kPropertyViolation: return "property_violation";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity, bool enabled)
+    : enabled_(enabled) {
+  if (capacity < 2) capacity = 2;
+  capacity = std::bit_ceil(capacity);
+  ring_.resize(capacity);
+  mask_ = capacity - 1;
+}
+
+std::vector<Event> FlightRecorder::events() const {
+  std::vector<Event> out;
+  const std::uint64_t n = head_ < ring_.size()
+                              ? head_
+                              : static_cast<std::uint64_t>(ring_.size());
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t seq = head_ - n; seq < head_; ++seq) {
+    const Slot& s = ring_[seq & mask_];
+    out.push_back(Event{seq, s.t, s.rk & kRoundMask,
+                        static_cast<EventKind>(s.rk >> kKindShift), s.a,
+                        s.b});
+  }
+  return out;
+}
+
+std::vector<Event> FlightRecorder::events_for_round(Round r) const {
+  std::vector<Event> out;
+  for (const Event& e : events()) {
+    if (e.round == r) out.push_back(e);
+  }
+  return out;
+}
+
+std::string FlightRecorder::dump_text(const std::string& label) const {
+  std::string out;
+  char line[256];
+  for (const Event& e : events()) {
+    std::snprintf(line, sizeof(line),
+                  "[%s] seq=%llu t=%lld r=%llu %s a=%llu b=%llu\n",
+                  label.c_str(), static_cast<unsigned long long>(e.seq),
+                  static_cast<long long>(e.t),
+                  static_cast<unsigned long long>(e.round),
+                  event_name(e.kind), static_cast<unsigned long long>(e.a),
+                  static_cast<unsigned long long>(e.b));
+    out += line;
+  }
+  return out;
+}
+
+std::string FlightRecorder::dump_json(const std::string& label) const {
+  std::string out;
+  char line[320];
+  for (const Event& e : events()) {
+    std::snprintf(line, sizeof(line),
+                  "{\"node\": \"%s\", \"seq\": %llu, \"t\": %lld, "
+                  "\"round\": %llu, \"event\": \"%s\", \"a\": %llu, "
+                  "\"b\": %llu}\n",
+                  label.c_str(), static_cast<unsigned long long>(e.seq),
+                  static_cast<long long>(e.t),
+                  static_cast<unsigned long long>(e.round),
+                  event_name(e.kind), static_cast<unsigned long long>(e.a),
+                  static_cast<unsigned long long>(e.b));
+    out += line;
+  }
+  return out;
+}
+
+std::vector<std::string> dump_on_trip(
+    const std::string& reason,
+    const std::vector<std::pair<std::string, const FlightRecorder*>>& nodes) {
+  std::vector<std::string> written;
+  const char* dir = std::getenv("ALLCONCUR_FLIGHT_DIR");
+  if (dir != nullptr && dir[0] != '\0') {
+    ::mkdir(dir, 0755);  // best effort; single level is all CI needs
+    for (const auto& [label, rec] : nodes) {
+      if (rec == nullptr) continue;
+      const std::string path =
+          std::string(dir) + "/flight_" + reason + "_" + label + ".jsonl";
+      if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+        const std::string dump = rec->dump_json(label);
+        std::fwrite(dump.data(), 1, dump.size(), f);
+        std::fclose(f);
+        written.push_back(path);
+      }
+    }
+  }
+  // Always narrate the tail to stderr: even without a dump dir a failing
+  // CI log shows the last events of every replica's timeline.
+  std::fprintf(stderr, "=== flight recorder trip: %s ===\n", reason.c_str());
+  for (const auto& [label, rec] : nodes) {
+    if (rec == nullptr) continue;
+    auto evs = rec->events();
+    const std::size_t tail = evs.size() > 16 ? evs.size() - 16 : 0;
+    for (std::size_t i = tail; i < evs.size(); ++i) {
+      const Event& e = evs[i];
+      std::fprintf(stderr, "[%s] seq=%llu t=%lld r=%llu %s a=%llu b=%llu\n",
+                   label.c_str(), static_cast<unsigned long long>(e.seq),
+                   static_cast<long long>(e.t),
+                   static_cast<unsigned long long>(e.round),
+                   event_name(e.kind), static_cast<unsigned long long>(e.a),
+                   static_cast<unsigned long long>(e.b));
+    }
+  }
+  if (!written.empty()) {
+    std::fprintf(stderr, "flight dumps written to %s (%zu files)\n", dir,
+                 written.size());
+  }
+  return written;
+}
+
+}  // namespace allconcur::obs

@@ -1,0 +1,132 @@
+#include "obs/schema.hpp"
+
+#include "chaos/scenario.hpp"
+#include "core/engine.hpp"
+#include "net/tcp_transport.hpp"
+
+namespace allconcur::obs {
+
+void fill_engine_stats(Registry& reg, const core::EngineStats& s) {
+  const auto set = [&](const char* name, const char* help, Unit unit,
+                       std::uint64_t v) {
+    reg.counter(name, help, unit).set(v);
+  };
+  set("engine_bcast_sent", "Tracked-path <BCAST> messages sent (G_R)",
+      Unit::kMessages, s.bcast_sent);
+  set("engine_bcast_received", "Tracked-path <BCAST> messages received",
+      Unit::kMessages, s.bcast_received);
+  set("engine_fail_sent", "<FAIL> notifications sent", Unit::kMessages,
+      s.fail_sent);
+  set("engine_fail_received", "<FAIL> notifications received", Unit::kMessages,
+      s.fail_received);
+  set("engine_fwd_bwd_sent", "Diamond-P FWD/BWD gate messages sent",
+      Unit::kMessages, s.fwd_bwd_sent);
+  set("engine_fwd_bwd_received", "Diamond-P FWD/BWD gate messages received",
+      Unit::kMessages, s.fwd_bwd_received);
+  set("engine_ubcast_sent",
+      "Fast-path <UBCAST> messages sent over the unreliable overlay G_U",
+      Unit::kMessages, s.ubcast_sent);
+  set("engine_ubcast_received", "Fast-path <UBCAST> messages received",
+      Unit::kMessages, s.ubcast_received);
+  set("engine_fallback_sent", "<FALLBACK> triggers sent", Unit::kMessages,
+      s.fallback_sent);
+  set("engine_fallback_received", "<FALLBACK> triggers received",
+      Unit::kMessages, s.fallback_received);
+  set("engine_fallbacks_initiated",
+      "Rounds this engine switched to the reliable path on its own "
+      "initiative (local suspicion or round timeout)",
+      Unit::kRounds, s.fallbacks_initiated);
+  set("engine_fast_rounds",
+      "Delivered rounds that completed on the untracked fast path",
+      Unit::kRounds, s.fast_rounds);
+  set("engine_fallback_rounds",
+      "Delivered rounds that went through the tracked path", Unit::kRounds,
+      s.fallback_rounds);
+  set("engine_tracking_resets",
+      "Tracking digraphs instantiated (zero across a failure-free fast run)",
+      Unit::kEvents, s.tracking_resets);
+  set("engine_bytes_sent",
+      "Encode-time accounting: wire bytes (header+payload) of every frame "
+      "handed to the transport send hook, counted once per destination. "
+      "Excludes connection preambles and transport heartbeats; includes "
+      "frames the transport later drops (chaos, closed peer). Compare "
+      "net_bytes_sent.",
+      Unit::kBytes, s.bytes_sent);
+  set("engine_frames_encoded",
+      "Wire frames built: exactly one per message emitted regardless of "
+      "overlay out-degree (the zero-copy invariant)",
+      Unit::kFrames, s.frames_encoded);
+  set("engine_dropped_stale", "Messages dropped: round already delivered",
+      Unit::kMessages, s.dropped_stale);
+  set("engine_dropped_suspected",
+      "Messages dropped: origin already suspected (ignore-after-suspect)",
+      Unit::kMessages, s.dropped_suspected);
+  set("engine_dropped_foreign", "Messages dropped: origin not in the view",
+      Unit::kMessages, s.dropped_foreign);
+  set("engine_dropped_lost",
+      "Messages dropped: arrived after declared lost (Diamond-P)",
+      Unit::kMessages, s.dropped_lost);
+  set("engine_dropped_ahead",
+      "Frames beyond the reachable pipelining horizon, discarded",
+      Unit::kFrames, s.dropped_ahead);
+  set("engine_parked_duplicates",
+      "Identical ahead-of-window frames suppressed at the park",
+      Unit::kFrames, s.parked_duplicates);
+  set("engine_rounds_completed", "Rounds this engine A-delivered",
+      Unit::kRounds, s.rounds_completed);
+}
+
+void fill_net_stats(Registry& reg, const net::TcpNetStats& s) {
+  const auto set = [&](const char* name, const char* help, Unit unit,
+                       std::uint64_t v) {
+    reg.counter(name, help, unit).set(v);
+  };
+  set("net_sendmsg_calls", "Flush syscalls issued", Unit::kEvents,
+      s.sendmsg_calls);
+  set("net_frames_sent", "Frames fully transmitted", Unit::kFrames,
+      s.frames_sent);
+  set("net_bytes_sent",
+      "Bytes the kernel accepted onto sockets: frame header+payload plus "
+      "the 4-byte connection hello preamble, heartbeats included. Excludes "
+      "frames still queued and frames dropped before the socket. On a "
+      "quiescent, heartbeat-free, chaos-free node this equals "
+      "engine_bytes_sent + net_preamble_bytes (asserted in net_tcp_test).",
+      Unit::kBytes, s.bytes_sent);
+  set("net_preamble_bytes",
+      "Connection hello bytes written (4 per outbound connection) — the "
+      "reconciliation term between net_bytes_sent and engine_bytes_sent",
+      Unit::kBytes, s.preamble_bytes);
+  set("net_partial_writes", "Short sendmsg results (kernel backpressure)",
+      Unit::kEvents, s.partial_writes);
+  set("net_eagain_waits", "Flushes parked on EPOLLOUT", Unit::kEvents,
+      s.eagain_waits);
+  set("net_frames_received", "Frames parsed off the wire", Unit::kFrames,
+      s.frames_received);
+  set("net_rbuf_compactions", "Receive-buffer memmoves", Unit::kEvents,
+      s.rbuf_compactions);
+  set("net_checksum_drops",
+      "Torn frames the stream parser dropped (magic/type/length/checksum "
+      "failures) instead of delivering",
+      Unit::kFrames, s.checksum_drops);
+  set("net_resyncs", "Forward scans to a plausible header", Unit::kEvents,
+      s.resyncs);
+}
+
+void fill_chaos_stats(Registry& reg, const chaos::InjectionStats& s) {
+  const auto set = [&](const char* name, const char* help, Unit unit,
+                       std::uint64_t v) {
+    reg.counter(name, help, unit).set(v);
+  };
+  set("chaos_frames_seen", "Frames evaluated by the scenario engine",
+      Unit::kFrames, s.frames_seen);
+  set("chaos_dropped", "Frames dropped by fault injection", Unit::kFrames,
+      s.dropped);
+  set("chaos_duplicated", "Frames duplicated by fault injection",
+      Unit::kFrames, s.duplicated);
+  set("chaos_corrupted", "Frames corrupted by fault injection", Unit::kFrames,
+      s.corrupted);
+  set("chaos_delayed", "Frames delayed by fault injection", Unit::kFrames,
+      s.delayed);
+}
+
+}  // namespace allconcur::obs

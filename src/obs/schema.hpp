@@ -1,0 +1,51 @@
+// The metric name catalog: mirrors the legacy per-subsystem stats
+// structs (core::EngineStats, net::TcpNetStats, chaos::InjectionStats)
+// into one obs::Registry under documented names and units, so every
+// exposition surface — admin endpoint, SimCluster snapshot, bench
+// `--json` "metrics" blocks — speaks the same schema.
+//
+// Naming: `<subsystem>_<field>` (engine_*, net_*, chaos_*). The two
+// bytes_sent counters deliberately keep distinct names because they
+// measure different things (see the help strings in schema.cpp):
+//
+//   engine_bytes_sent  encode-time accounting — wire bytes
+//                      (header+payload) of every frame handed to the
+//                      transport send hook, counted once per
+//                      destination; excludes connection preambles and
+//                      transport heartbeats, includes frames the
+//                      transport later drops (chaos, closed peer).
+//   net_bytes_sent     bytes the kernel actually accepted onto
+//                      sockets: frame header+payload plus the 4-byte
+//                      connection hello preamble, heartbeats included.
+//   net_preamble_bytes the hello bytes alone — the exact
+//                      reconciliation term: on a quiescent,
+//                      heartbeat-free, chaos-free node,
+//                      net_bytes_sent == engine_bytes_sent +
+//                      net_preamble_bytes (asserted in net_tcp_test).
+#pragma once
+
+#include "obs/metrics.hpp"
+
+namespace allconcur::core {
+struct EngineStats;
+}
+namespace allconcur::net {
+struct TcpNetStats;
+}
+namespace allconcur::chaos {
+struct InjectionStats;
+}
+
+namespace allconcur::obs {
+
+/// Mirrors an engine's cumulative counters into `reg` (set-to-value, so
+/// repeated calls refresh rather than double-count).
+void fill_engine_stats(Registry& reg, const core::EngineStats& s);
+
+/// Mirrors a TCP transport's wire counters into `reg`.
+void fill_net_stats(Registry& reg, const net::TcpNetStats& s);
+
+/// Mirrors a chaos scenario engine's injection counters into `reg`.
+void fill_chaos_stats(Registry& reg, const chaos::InjectionStats& s);
+
+}  // namespace allconcur::obs

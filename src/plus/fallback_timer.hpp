@@ -9,12 +9,20 @@
 // a scheduled tick on virtual time, TcpNode from its event-loop wake on
 // the monotonic clock — so the stall-detection policy lives in exactly
 // one place.
+//
+// With a flight recorder attached, arming, progress re-arms and fires
+// are recorded against the watched round (kTimerArm/kTimerRearm/
+// kTimerFire, the fire carrying the observed round age) — a dump then
+// answers "why did this round fall back" directly: a fire after silence
+// shows one arm and a timeout-aged fire; a gray-failure trickle shows
+// the re-arm train hitting the age cap.
 #pragma once
 
 #include <cstddef>
 #include <optional>
 
 #include "common/types.hpp"
+#include "obs/recorder.hpp"
 
 namespace allconcur::plus {
 
@@ -30,6 +38,11 @@ class FallbackTimer {
 
   DurationNs timeout() const { return timeout_; }
   DurationNs max_round_age() const { return max_round_age_; }
+
+  /// Observability tap (may be null): owned by the deployment, shared
+  /// with its engine so watchdog events interleave with the round
+  /// lifecycle they explain.
+  void set_recorder(obs::FlightRecorder* rec) { rec_ = rec; }
 
   /// Reports the engine's current state; returns the round to time out
   /// when it has been stuck-and-armed past the timeout with no progress.
@@ -56,6 +69,9 @@ class FallbackTimer {
       since_ = now;
       armed_at_ = progress > 0 ? now : kTimeNever;
       started_ = true;
+      if (rec_ && progress > 0) {
+        rec_->record(obs::EventKind::kTimerArm, watched_);
+      }
       return std::nullopt;
     }
     if (progress == 0) {
@@ -65,18 +81,35 @@ class FallbackTimer {
       armed_at_ = kTimeNever;
       return std::nullopt;
     }
-    if (armed_at_ == kTimeNever) armed_at_ = now;
+    if (armed_at_ == kTimeNever) {
+      armed_at_ = now;
+      if (rec_) rec_->record(obs::EventKind::kTimerArm, watched_);
+    }
     const bool aged =
         max_round_age_ > 0 && now - armed_at_ >= max_round_age_;
     if (progress != progress_) {
       progress_ = progress;
       since_ = now;
-      if (!aged) return std::nullopt;
+      if (!aged) {
+        if (rec_) {
+          rec_->record(obs::EventKind::kTimerRearm, watched_,
+                       static_cast<std::uint64_t>(now - armed_at_));
+        }
+        return std::nullopt;
+      }
       // Trickling progress past the age cap no longer buys deferral.
+      if (rec_) {
+        rec_->record(obs::EventKind::kTimerFire, watched_,
+                     static_cast<std::uint64_t>(now - armed_at_), progress);
+      }
       armed_at_ = now;  // pace re-fires: restart the age window
       return watched_;
     }
     if (now - since_ < timeout_) return std::nullopt;
+    if (rec_) {
+      rec_->record(obs::EventKind::kTimerFire, watched_,
+                   static_cast<std::uint64_t>(now - armed_at_), progress);
+    }
     since_ = now;  // re-arm
     return watched_;
   }
@@ -92,6 +125,7 @@ class FallbackTimer {
   /// When the watched round first showed progress (kTimeNever = unarmed).
   TimeNs armed_at_ = kTimeNever;
   bool started_ = false;
+  obs::FlightRecorder* rec_ = nullptr;
 };
 
 }  // namespace allconcur::plus

@@ -21,6 +21,11 @@ class Simulator {
 
   TimeNs now() const { return now_; }
 
+  /// Stable pointer to the virtual clock, for consumers that sample it on
+  /// their own hot path without a call through the simulator (the flight
+  /// recorder's time source). Valid for the simulator's lifetime.
+  const TimeNs* now_ptr() const { return &now_; }
+
   /// Schedules `fn` to run `delay` from now (delay >= 0).
   void schedule(DurationNs delay, Action fn);
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "obs/recorder.hpp"
 
 namespace allconcur::smr {
 namespace {
@@ -117,8 +118,22 @@ void SimKvCluster::apply_to(NodeId who, const core::RoundResult& result) {
   // Divergence guard: every replica that applies round R must land on the
   // reference hash. A silent ordering/determinism bug dies here, loudly.
   const auto expected = hash_after_round_.find(result.round);
-  if (expected != hash_after_round_.end()) {
-    ALLCONCUR_ASSERT(replicas_[who]->state_hash() == expected->second,
+  if (expected != hash_after_round_.end() &&
+      replicas_[who]->state_hash() != expected->second) {
+    // Ship the evidence before dying: the per-replica round timelines
+    // identify where the diverging node's history forked.
+    if (auto* rec = cluster_.recorder(who)) {
+      rec->record(obs::EventKind::kInvariantTrip, result.round,
+                  static_cast<std::uint64_t>(
+                      obs::TripCode::kSmrHashDivergence),
+                  who);
+    }
+    obs::dump_on_trip("smr_hash_divergence", cluster_.recorders());
+    if (on_divergence) {
+      on_divergence(who, result.round);
+      return;
+    }
+    ALLCONCUR_ASSERT(false,
                      "replica state diverged from the agreed history");
   }
 }

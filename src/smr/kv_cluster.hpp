@@ -63,6 +63,16 @@ class SimKvCluster {
   /// SMR layer; this fires after the replica applied the round).
   std::function<void(NodeId, const core::RoundResult&, TimeNs)> on_deliver;
 
+  /// Divergence-guard trip handler. When a replica's post-round state
+  /// hash mismatches the reference, the guard first records an
+  /// obs::EventKind::kInvariantTrip on the diverging node and auto-dumps
+  /// every node's flight recorder (obs::dump_on_trip, so a CI failure
+  /// ships the per-replica timelines), then: aborts via ALLCONCUR_ASSERT
+  /// when this is unset, or calls it (who, round) and returns when set —
+  /// tests use the override to exercise the dump path on a forced
+  /// divergence without dying.
+  std::function<void(NodeId, Round)> on_divergence;
+
   /// A fresh client session (deterministic unique id).
   KvSession make_session();
 

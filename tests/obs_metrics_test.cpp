@@ -1,0 +1,293 @@
+// obs_metrics_test: the unified metrics plane — log-bucketed histogram
+// accuracy against common::Summary ground truth (including bucket
+// boundaries and overflow), bucket geometry invariants, and the
+// registry's stable-reference / exposition contracts.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace allconcur::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bucket geometry
+// ---------------------------------------------------------------------------
+
+TEST(HistogramBuckets, IndexRoundtripsThroughBounds) {
+  // Every probed value must satisfy lo(i) <= v < hi(i) for its own bucket.
+  std::vector<std::uint64_t> probes;
+  for (std::uint64_t v = 0; v <= 4096; ++v) probes.push_back(v);
+  for (unsigned p = 6; p < 63; ++p) {
+    const std::uint64_t two = 1ull << p;
+    probes.push_back(two - 1);
+    probes.push_back(two);
+    probes.push_back(two + 1);
+    probes.push_back(two + two / 2);  // mid-octave
+  }
+  probes.push_back(std::numeric_limits<std::uint64_t>::max());
+  for (const std::uint64_t v : probes) {
+    const std::size_t i = Histogram::bucket_index(v);
+    ASSERT_LT(i, Histogram::kBucketCount) << "v=" << v;
+    EXPECT_LE(Histogram::bucket_lo(i), v) << "v=" << v;
+    // hi is exclusive except for the very top bucket, whose bound
+    // saturates at uint64 max instead of wrapping past 2^64.
+    const std::uint64_t hi = Histogram::bucket_hi(i);
+    if (hi == std::numeric_limits<std::uint64_t>::max()) {
+      EXPECT_GE(hi, v) << "v=" << v;
+    } else {
+      EXPECT_GT(hi, v) << "v=" << v;
+    }
+  }
+}
+
+TEST(HistogramBuckets, BoundsTileTheAxisWithoutGaps) {
+  // hi(i) == lo(i+1): buckets partition [0, 2^64) with no gap or overlap.
+  for (std::size_t i = 0; i + 1 < Histogram::kBucketCount; ++i) {
+    EXPECT_EQ(Histogram::bucket_hi(i), Histogram::bucket_lo(i + 1))
+        << "bucket " << i;
+  }
+  EXPECT_EQ(Histogram::bucket_lo(0), 0u);
+  EXPECT_EQ(Histogram::bucket_hi(Histogram::kBucketCount - 1),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(HistogramBuckets, ExactBelowSubBucketsThenLinearOctaves) {
+  // Values below 2^kSubBits get one bucket each (width 1)...
+  for (std::uint64_t v = 0; v < Histogram::kSubBuckets; ++v) {
+    const std::size_t i = Histogram::bucket_index(v);
+    EXPECT_EQ(i, static_cast<std::size_t>(v));
+    EXPECT_EQ(Histogram::bucket_hi(i) - Histogram::bucket_lo(i), 1u);
+  }
+  // ...the first octave [32, 64) is still width 1 (32 sub-buckets over 32
+  // values), so 31/32/33 each live alone, ...
+  EXPECT_NE(Histogram::bucket_index(31), Histogram::bucket_index(32));
+  EXPECT_NE(Histogram::bucket_index(32), Histogram::bucket_index(33));
+  EXPECT_EQ(Histogram::bucket_hi(Histogram::bucket_index(32)) -
+                Histogram::bucket_lo(Histogram::bucket_index(32)),
+            1u);
+  // ...and each later octave doubles the sub-bucket width: relative error
+  // stays <= 1/kSubBuckets everywhere.
+  for (unsigned p = 6; p < 62; ++p) {
+    const std::uint64_t v = 1ull << p;
+    const std::size_t i = Histogram::bucket_index(v);
+    const std::uint64_t width =
+        Histogram::bucket_hi(i) - Histogram::bucket_lo(i);
+    EXPECT_EQ(width, v / Histogram::kSubBuckets) << "v=2^" << p;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Quantiles vs common::Summary ground truth
+// ---------------------------------------------------------------------------
+
+TEST(HistogramQuantiles, ExactRegionMatchesSummaryOnIntegerRanks) {
+  // 33 samples 0..32 — q*(count-1) lands on integer ranks for these q, so
+  // the exact-bucket region reproduces Summary to the digit.
+  Histogram h;
+  Summary s;
+  for (std::uint64_t v = 0; v <= 32; ++v) {
+    h.record(v);
+    s.add(static_cast<double>(v));
+  }
+  const auto snap = h.snapshot();
+  for (double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_DOUBLE_EQ(snap.quantile(q), s.quantile(q)) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(snap.mean(), s.mean());
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 32u);
+}
+
+TEST(HistogramQuantiles, BoundaryValuesLandInDistinctBuckets) {
+  // The exact/log seam: 31 (last exact), 32 (first octave), 33, and the
+  // powers of two around the first widening octave.
+  Histogram h;
+  Summary s;
+  for (std::uint64_t v : {31ull, 32ull, 33ull, 63ull, 64ull, 65ull, 127ull,
+                          128ull, 129ull}) {
+    h.record(v);
+    s.add(static_cast<double>(v));
+  }
+  const auto snap = h.snapshot();
+  // 9 samples; every bucket holds exactly one, so each integer-rank
+  // quantile is reproduced within its bucket's width.
+  for (double q : {0.0, 0.125, 0.25, 0.5, 0.75, 1.0}) {
+    const double truth = s.quantile(q);
+    const std::size_t i =
+        Histogram::bucket_index(static_cast<std::uint64_t>(truth));
+    const double width = static_cast<double>(Histogram::bucket_hi(i) -
+                                             Histogram::bucket_lo(i));
+    EXPECT_NEAR(snap.quantile(q), truth, width) << "q=" << q;
+  }
+}
+
+TEST(HistogramQuantiles, LogUniformSamplesWithinRelativeErrorBound) {
+  // 20k log-uniform samples over ~6 decades: p50/p90/p99 must sit within
+  // the documented 1/kSubBuckets relative error (plus one rank of
+  // cross-bucket interpolation slack) of the sorted-sample truth.
+  Rng rng(1234);
+  Histogram h;
+  Summary s;
+  for (int i = 0; i < 20000; ++i) {
+    const double e = rng.next_double() * 6.0;  // 10^0 .. 10^6
+    const auto v = static_cast<std::uint64_t>(std::pow(10.0, e));
+    h.record(v);
+    s.add(static_cast<double>(v));
+  }
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 20000u);
+  EXPECT_EQ(snap.overflow, 0u);
+  for (double q : {0.5, 0.9, 0.99}) {
+    const double truth = s.quantile(q);
+    const double rel = 2.0 / static_cast<double>(Histogram::kSubBuckets);
+    EXPECT_NEAR(snap.quantile(q), truth, truth * rel + 1.0) << "q=" << q;
+  }
+  EXPECT_NEAR(snap.mean(), s.mean(), s.mean() * 0.001 + 1.0);
+}
+
+TEST(HistogramQuantiles, OverflowClampsToMaxTrackable) {
+  Histogram h(/*max_trackable=*/1000);
+  Summary s;
+  for (std::uint64_t v : {10ull, 100ull, 500ull, 5000ull, 70000ull}) {
+    h.record(v);
+    // Ground truth sees the clamped samples too: that is the documented
+    // semantic (overflow counts them, the top bucket holds them).
+    s.add(static_cast<double>(std::min<std::uint64_t>(v, 1000)));
+  }
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.overflow_count(), 2u);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.overflow, 2u);
+  EXPECT_EQ(snap.max, 1000u);
+  EXPECT_EQ(snap.min, 10u);
+  // The clamped mass keeps every quantile at or below max_trackable's
+  // bucket upper bound.
+  const std::size_t top = Histogram::bucket_index(1000);
+  EXPECT_LE(snap.quantile(1.0),
+            static_cast<double>(Histogram::bucket_hi(top)));
+  EXPECT_NEAR(snap.quantile(1.0), s.quantile(1.0),
+              static_cast<double>(Histogram::bucket_hi(top) -
+                                  Histogram::bucket_lo(top)));
+  // sum accumulates the clamped values, so mean stays <= max_trackable.
+  EXPECT_LE(snap.mean(), 1000.0);
+}
+
+TEST(HistogramQuantiles, EmptyAndSingleSample) {
+  Histogram h;
+  const auto empty = h.snapshot();
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  EXPECT_EQ(empty.min, 0u);
+
+  h.record(7);
+  const auto one = h.snapshot();
+  EXPECT_EQ(one.count, 1u);
+  for (double q : {0.0, 0.3, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(one.quantile(q), 7.0) << "q=" << q;
+  }
+  EXPECT_EQ(one.min, 7u);
+  EXPECT_EQ(one.max, 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(Registry, ReturnsStableReferencesAcrossGrowth) {
+  Registry r;
+  Counter& c = r.counter("frames", "frames seen", Unit::kFrames);
+  Gauge& g = r.gauge("depth", "queue depth");
+  Histogram& h = r.histogram("lat", "latency", Unit::kNanoseconds);
+  c.add(3);
+  // Registering many more metrics must not invalidate earlier references
+  // (hot paths capture them once).
+  for (int i = 0; i < 100; ++i) {
+    r.counter("c" + std::to_string(i), "filler");
+    r.histogram("h" + std::to_string(i), "filler");
+  }
+  c.add(4);
+  g.set(-5);
+  h.record(42);
+  EXPECT_EQ(r.find_counter("frames"), &c);
+  EXPECT_EQ(r.find_gauge("depth"), &g);
+  EXPECT_EQ(r.find_histogram("lat"), &h);
+  EXPECT_EQ(r.find_counter("frames")->value(), 7u);
+  EXPECT_EQ(r.find_gauge("depth")->value(), -5);
+  EXPECT_EQ(r.find_histogram("lat")->count(), 1u);
+}
+
+TEST(Registry, ReRegistrationReturnsTheSameObject) {
+  Registry r;
+  Counter& a = r.counter("x", "first help", Unit::kBytes);
+  a.add(9);
+  Counter& b = r.counter("x", "different help ignored", Unit::kNone);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.value(), 9u);
+}
+
+TEST(Registry, FindIsKindAware) {
+  Registry r;
+  r.counter("only_counter", "help");
+  EXPECT_NE(r.find_counter("only_counter"), nullptr);
+  EXPECT_EQ(r.find_gauge("only_counter"), nullptr);
+  EXPECT_EQ(r.find_histogram("only_counter"), nullptr);
+  EXPECT_EQ(r.find_counter("absent"), nullptr);
+}
+
+TEST(Registry, JsonExpositionCarriesValuesAndSchema) {
+  Registry r;
+  r.counter("bytes_sent", "wire bytes", Unit::kBytes).set(1234);
+  r.gauge("window", "open rounds", Unit::kRounds).set(4);
+  Histogram& h = r.histogram("rtt", "round trip", Unit::kNanoseconds);
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"bytes_sent\": {\"type\": \"counter\", "
+                      "\"unit\": \"bytes\", \"value\": 1234}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"window\": {\"type\": \"gauge\", "
+                      "\"unit\": \"rounds\", \"value\": 4}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"rtt\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 5050"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  // Keys come out name-sorted (index_ iteration), so output is stable.
+  EXPECT_LT(json.find("bytes_sent"), json.find("rtt"));
+  EXPECT_LT(json.find("rtt"), json.find("window"));
+  // Indented mode wraps lines.
+  const std::string pretty = r.to_json(2);
+  EXPECT_EQ(pretty.substr(0, 2), "{\n");
+}
+
+TEST(Registry, PrometheusExpositionPrefixesAndTypes) {
+  Registry r;
+  r.counter("relays", "relayed frames", Unit::kFrames).set(42);
+  Histogram& h = r.histogram("lat", "latency", Unit::kNanoseconds);
+  h.record(10);
+  h.record(20);
+
+  const std::string prom = r.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE allconcur_relays counter"), std::string::npos);
+  EXPECT_NE(prom.find("allconcur_relays 42\n"), std::string::npos);
+  EXPECT_NE(prom.find("# HELP allconcur_relays relayed frames [frames]"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE allconcur_lat summary"), std::string::npos);
+  EXPECT_NE(prom.find("allconcur_lat{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(prom.find("allconcur_lat_sum 30\n"), std::string::npos);
+  EXPECT_NE(prom.find("allconcur_lat_count 2\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace allconcur::obs

@@ -1,0 +1,48 @@
+// allconcur_inspect — live introspection client for a running TcpNode.
+//
+// Fetches the admin endpoint (TcpNodeOptions::admin_port + node id) and
+// prints the body: the unified metrics plane in Prometheus text or JSON,
+// the round flight recorder as JSON-lines or text, or a health probe.
+//
+//   $ allconcur_inspect --port=41000                       # /metrics
+//   $ allconcur_inspect --port=41000 --path=/metrics.json
+//   $ allconcur_inspect --port=41000 --node=3 --path=/recorder
+//   $ allconcur_inspect --port=41000 --path=/healthz
+//
+// --port names the cluster's admin base port; --node (default 0) is added
+// to it, mirroring how TcpNode computes its listen port. The whole client
+// is obs::run_inspect(), which net_tcp_test drives in-process against a
+// live node — this file is only the argv shell around it.
+#include <cstdio>
+#include <string>
+
+#include "common/flags.hpp"
+#include "obs/inspect.hpp"
+
+int main(int argc, char** argv) {
+  const allconcur::Flags flags(argc, argv);
+  if (flags.has("help")) {
+    std::printf(
+        "usage: allconcur_inspect --port=<admin base port> "
+        "[--node=<id>] [--path=/metrics|/metrics.json|/recorder|"
+        "/recorder.txt|/healthz]\n");
+    return 0;
+  }
+  const auto base = flags.get_int("port", 0);
+  if (base <= 0 || base > 65535) {
+    std::fprintf(stderr,
+                 "allconcur_inspect: --port=<admin base port> required "
+                 "(see --help)\n");
+    return 2;
+  }
+  const auto node = flags.get_int("node", 0);
+  const auto port = base + node;
+  if (node < 0 || port <= 0 || port > 65535) {
+    std::fprintf(stderr, "allconcur_inspect: --node puts the port out of "
+                         "range\n");
+    return 2;
+  }
+  const std::string path = flags.get("path", "/metrics");
+  return allconcur::obs::run_inspect(
+      static_cast<std::uint16_t>(port), path, stdout);
+}

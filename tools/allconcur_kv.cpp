@@ -33,7 +33,7 @@ namespace {
 struct Cluster {
   std::vector<std::unique_ptr<smr::KvNode>> nodes;
 
-  explicit Cluster(std::size_t n) {
+  explicit Cluster(std::size_t n, std::uint16_t admin_port = 0) {
     const auto base = static_cast<std::uint16_t>(
         20000 + (static_cast<unsigned>(::getpid()) * 137) % 30000);
     std::vector<NodeId> members(n);
@@ -43,12 +43,19 @@ struct Cluster {
       opt.self = static_cast<NodeId>(i);
       opt.members = members;
       opt.base_port = base;
+      opt.admin_port = admin_port;
       nodes.push_back(std::make_unique<smr::KvNode>(std::move(opt)));
     }
     for (auto& node : nodes) node->start();
     for (auto& node : nodes) node->wait_connected(sec(10));
     std::printf("# %zu nodes connected over localhost TCP (ports %u..%u)\n",
                 n, base, base + static_cast<unsigned>(n) - 1);
+    if (admin_port != 0) {
+      std::printf("# admin endpoints live on ports %u..%u "
+                  "(allconcur_inspect --port=%u)\n",
+                  admin_port, admin_port + static_cast<unsigned>(n) - 1,
+                  admin_port);
+    }
   }
 
   /// Barriers every replica to node 0's tip, waits for all of them to
@@ -83,7 +90,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: allconcur_kv <put|get|bench> [--n=5] [--key=...] "
                "[--value=...] [--put-first=...] [--ops=500] "
-               "[--value-bytes=64] [--smoke]\n");
+               "[--value-bytes=64] [--smoke] [--admin-port=0]\n");
   return 2;
 }
 
@@ -185,7 +192,11 @@ int main(int argc, char** argv) {
   const std::size_t n = static_cast<std::size_t>(flags.get_int("n", 5));
   if (sub != "put" && sub != "get" && sub != "bench") return usage();
 
-  Cluster cluster(n);
+  // --admin-port: serve the obs admin endpoint on admin-port + node id
+  // while the command runs (0 = off) — allconcur_inspect can fetch live
+  // metrics/recorder snapshots from another terminal.
+  Cluster cluster(n, static_cast<std::uint16_t>(
+                         flags.get_int("admin-port", 0)));
   int rc = 2;
   if (sub == "put") {
     rc = cmd_put(cluster, flags.get("key", "motd"),

@@ -13,6 +13,15 @@ A metric that moved against its direction by more than --threshold
 (default 20%) is a regression; the tool prints every comparison and exits
 1 if any metric regressed.
 
+The "metrics" subtree (the unified metrics plane every bench embeds) is
+excluded from this default classification: its names collide with the
+perf heuristics (a drop *counter* matching "ops", histogram p50/p99
+leaves reading as latencies), and counters legitimately scale with run
+length. Entries are diffed opt-in via --metric (repeatable), which gates
+on drift in EITHER direction:
+
+  tools/bench_compare.py a.json b.json --metric engine_rounds_completed
+
 Intended CI use — deterministic virtual-time metrics only (wall-clock
 sections are excluded with --only):
 
@@ -81,6 +90,11 @@ def main():
     parser.add_argument("--only", default=None,
                         help="compare only paths starting with this prefix "
                              "(e.g. 'sim' to skip wall-clock sections)")
+    parser.add_argument("--metric", action="append", default=[],
+                        help="opt-in diff of one metrics-plane entry by "
+                             "name (e.g. engine_rounds_completed); "
+                             "repeatable; gates on drift in either "
+                             "direction beyond --threshold")
     args = parser.parse_args()
 
     with open(args.baseline) as f:
@@ -88,10 +102,35 @@ def main():
     with open(args.candidate) as f:
         cand = dict(leaves(json.load(f)))
 
+    def metric_entry(path):
+        """The metrics-plane entry name of a metrics.* path, else None."""
+        parts = path.split(".")
+        return parts[1] if len(parts) > 1 and parts[0] == "metrics" else None
+
     compared = 0
     regressions = []
     for path in sorted(base.keys() & cand.keys()):
         if args.only and not path.startswith(args.only):
+            continue
+        entry = metric_entry(path)
+        if entry is not None:
+            # Metrics plane: opt-in only, drift gated both ways. Compare
+            # the entry's value-like leaves, not its schema/shape fields.
+            leaf = path.rsplit(".", 1)[-1]
+            if entry not in args.metric or leaf not in (
+                    "value", "count", "sum", "p50", "p90", "p99"):
+                continue
+            old, new = base[path], cand[path]
+            compared += 1
+            if old == 0:
+                status = "SKIP (zero baseline)"
+            else:
+                change = (new - old) / abs(old)
+                status = f"{change:+.1%}"
+                if abs(change) > args.threshold:
+                    status += f"  REGRESSION (> {args.threshold:.0%} drift)"
+                    regressions.append(path)
+            print(f"  {path} [= drift]: {old:g} -> {new:g}  {status}")
             continue
         sign = direction(path)
         if sign == 0:
@@ -113,7 +152,9 @@ def main():
     missing = sorted(base.keys() - cand.keys())
     if args.only:
         missing = [p for p in missing if p.startswith(args.only)]
-    missing = [p for p in missing if direction(p) != 0]
+    missing = [p for p in missing
+               if (metric_entry(p) in args.metric
+                   if metric_entry(p) is not None else direction(p) != 0)]
     for path in missing:
         print(f"  {path}: present in baseline, missing in candidate  "
               f"REGRESSION (metric disappeared)")
