@@ -3,17 +3,77 @@
 // 2(L + o_s + o)·D, the worst case without early termination
 // (f + D_f steps), and the §4.2.2 probability that a round's depth stays
 // within the fault diameter.
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
+#include "api/sim_cluster.hpp"
 #include "bench_util.hpp"
 #include "common/flags.hpp"
 #include "core/logp_model.hpp"
 #include "graph/gs_digraph.hpp"
 #include "graph/properties.hpp"
 #include "graph/reliability.hpp"
+#include "obs/trace.hpp"
 
 using namespace allconcur;
 using namespace allconcur::bench;
+
+namespace {
+
+/// One measured-vs-model comparison: a SimCluster round with every origin
+/// traced (sampling 1/1) against the analytic depth and LogP time.
+struct MeasuredRow {
+  std::size_t n = 0;
+  std::size_t d = 0;
+  std::size_t depth_model = 0;     ///< diameter of the G_R overlay
+  std::size_t depth_measured = 0;  ///< D-hat from the merged trace
+  double t_model_ns = 0;   ///< one-way (L + o_s + o) * D, uncontended
+  double t_measured_ns = 0;  ///< slowest origin's broadcast -> last receipt
+  double ratio = 0;        ///< measured / model (contention shows up here)
+};
+
+MeasuredRow measure_depth(std::size_t n, const sim::FabricParams& fabric) {
+  api::ClusterOptions copts;
+  copts.n = n;
+  copts.fabric = fabric;
+  copts.trace_sample_period = 1;  // every round sampled
+  api::SimCluster cluster(copts);
+  // Nudge the virtual clock off zero so origin spans are distinguishable
+  // from "origin span lost" (t = 0) in the merge.
+  cluster.run_for(us(1));
+  cluster.broadcast_all_now();
+  cluster.run_until_round_done(0, sec(30));
+
+  MeasuredRow row;
+  row.n = n;
+  const graph::Digraph g = cluster.options().builder(n);
+  row.d = g.out_degree(0);
+  row.depth_model = graph::diameter(g).value_or(0);
+  const obs::TraceMerge merged = cluster.merged_trace();
+  row.depth_measured = merged.empirical_depth();
+  // Measured one-way propagation: the slowest origin's span from its
+  // broadcast to the last node's first receipt, over the first round only
+  // (later rounds overlap with delivery work).
+  Round first_round = ~Round{0};
+  for (const auto& b : merged.broadcasts()) {
+    first_round = std::min(first_round, b.round);
+  }
+  for (const auto& b : merged.broadcasts()) {
+    if (b.round != first_round || b.origin_t == 0) continue;
+    row.t_measured_ns = std::max(
+        row.t_measured_ns, static_cast<double>(b.completed_t - b.origin_t));
+  }
+  const core::LogP p{static_cast<double>(fabric.latency),
+                     static_cast<double>(fabric.overhead)};
+  // logp_depth_ns is the §4.2.1 round-trip bound (message + empty echoes);
+  // the trace measures the forward dissemination, i.e. half of it.
+  row.t_model_ns = core::logp_depth_ns(row.d, row.depth_model, p) / 2.0;
+  row.ratio = row.t_model_ns > 0 ? row.t_measured_ns / row.t_model_ns : 0;
+  return row;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const Flags flags(argc, argv);
@@ -55,5 +115,56 @@ int main(int argc, char** argv) {
   print_note("paper: 256 servers, d=7 finish 1M rounds within D_f with "
              "probability > 99.99% — early termination pays off because "
              "failures are rare.");
+
+  // ---- Measured vs model: the causal tracer closes the loop (§4.2) ----
+  // Every origin of one sim round is trace-sampled; the merged span DAG
+  // yields the empirical depth D-hat and the slowest origin's measured
+  // dissemination time, next to the analytic diameter and the one-way
+  // LogP depth (L + o_s + o)·D. D-hat must equal the diameter at f=0
+  // (obs_trace_test asserts it); the time ratio > 1 is the contention of
+  // n simultaneous broadcasts, which the uncontended model ignores.
+  print_title("measured vs model: traced sim rounds (TCP/IB fabric, f=0)");
+  const std::vector<std::int64_t> trace_sizes = flags.get_int_list(
+      "trace-sizes", smoke_mode(flags) ? std::vector<std::int64_t>{8, 16}
+                                       : std::vector<std::int64_t>{8, 16, 32});
+  std::vector<MeasuredRow> measured;
+  row("%6s %4s %8s %8s %12s %12s %8s", "n", "d", "D model", "D-hat",
+      "model [us]", "meas [us]", "ratio");
+  for (const std::int64_t sz : trace_sizes) {
+    const MeasuredRow m =
+        measure_depth(static_cast<std::size_t>(sz), sim::FabricParams::tcp_ib());
+    row("%6zu %4zu %8zu %8zu %12.1f %12.1f %7.2fx", m.n, m.d, m.depth_model,
+        m.depth_measured, m.t_model_ns / 1e3, m.t_measured_ns / 1e3, m.ratio);
+    measured.push_back(m);
+  }
+
+  if (flags.has("json")) {
+    // Bare --json (the Flags bool idiom stores "true") streams to stdout;
+    // --json=<path> writes the file.
+    std::string json_path = flags.get("json", "");
+    if (json_path == "true") json_path.clear();
+    std::FILE* f = json_path.empty() ? stdout : std::fopen(json_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"work_depth_model\",\n"
+                    "  \"measured_vs_model\": [\n");
+    for (std::size_t i = 0; i < measured.size(); ++i) {
+      const MeasuredRow& m = measured[i];
+      std::fprintf(f,
+                   "    {\"n\": %zu, \"d\": %zu, \"depth_model\": %zu, "
+                   "\"depth_measured\": %zu, \"t_model_ns\": %.0f, "
+                   "\"t_measured_ns\": %.0f, \"ratio\": %.3f}%s\n",
+                   m.n, m.d, m.depth_model, m.depth_measured, m.t_model_ns,
+                   m.t_measured_ns, m.ratio,
+                   i + 1 < measured.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    if (f != stdout) {
+      std::fclose(f);
+      print_note("wrote " + json_path);
+    }
+  }
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "api/sim_cluster.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <span>
 
 #include "common/assert.hpp"
@@ -25,10 +26,29 @@ SimCluster::SimCluster(ClusterOptions options)
           "sim_round_latency_ns",
           "A-broadcast to A-delivery latency per (node, round) on the "
           "virtual clock",
+          obs::Unit::kNanoseconds)),
+      relay_hop_(&metrics_.histogram(
+          "relay_hop_latency_ns",
+          "Per-hop relay latency: one frame's modeled one-way time from "
+          "the sender's send to the receiving engine (LogP sender "
+          "overhead + wire + receiver overhead, plus induced skew and "
+          "chaos delay). Live regardless of trace sampling; also the "
+          "per-hop estimate sampled frames accumulate",
           obs::Unit::kNanoseconds)) {
   ALLCONCUR_ASSERT(options_.n >= 1, "cluster needs at least one node");
   ALLCONCUR_ASSERT(options_.window >= 1, "window must be at least 1");
   nodes_.resize(options_.n + options_.max_joins);
+
+  // CI escape hatch: ALLCONCUR_TRACE_PERIOD turns sampling on for every
+  // SimCluster that did not ask for it, so a red chaos run ships causal
+  // traces next to its flight dumps without touching each suite. An
+  // explicit trace_sample_period always wins.
+  if (options_.trace_sample_period == 0) {
+    if (const char* p = std::getenv("ALLCONCUR_TRACE_PERIOD")) {
+      const long v = std::strtol(p, nullptr, 10);
+      if (v > 0) options_.trace_sample_period = static_cast<std::uint32_t>(v);
+    }
+  }
 
   if (options_.chaos) {
     // The scenario timeline runs on virtual time; pin its epoch to t = 0
@@ -77,6 +97,17 @@ void SimCluster::create_node(NodeId id, View view, Round start_round) {
     // dereferences the simulator's own now_ on each record().
     node->recorder->set_time_source(sim_.now_ptr());
     eopts.recorder = node->recorder.get();
+  }
+  if (options_.trace_sample_period != 0) {
+    node->tracer = std::make_unique<obs::TraceBuffer>(options_.trace_capacity,
+                                                      /*enabled=*/true);
+    node->tracer->set_time_source(sim_.now_ptr());
+    node->tracer->set_self(id);
+    // Sampled relays stamp the modeled per-hop latency into the frame's
+    // cumulative estimate, read off the cluster-wide relay histogram.
+    node->tracer->set_hop_histogram(relay_hop_);
+    eopts.tracer = node->tracer.get();
+    eopts.trace_sample_period = options_.trace_sample_period;
   }
   node->engine = std::make_unique<Engine>(id, std::move(view),
                                           options_.builder, hooks, eopts,
@@ -217,23 +248,43 @@ void SimCluster::handle_send(NodeId src, NodeId dst, const FrameRef& frame) {
       model_.sender_done(src, dst, frame->wire_size(), sim_.now());
   // Induced per-node skew and chaos jitter: the frame arrives late.
   const TimeNs arrive = model_.arrival(done) + send_delay_[src] + act.delay;
-  schedule_arrival(src, dst, frame, arrive, act.corrupt, act.corrupt_at);
+  if (sender.tracer && msg.trace_sampled() &&
+      (msg.type == MsgType::kBroadcast || msg.type == MsgType::kUBcast)) {
+    // Sampled frame leaving this node: the enqueue span now, the send
+    // span once the modeled serialization finishes (o_s + bytes on the
+    // wire), both against the virtual clock.
+    sender.tracer->record(obs::SpanKind::kEnqueue, msg.round, msg.origin,
+                          dst, msg.trace_hop(), msg.detector);
+    sim_.schedule_at(done, [this, src, dst, frame] {
+      Node* n = nodes_[src].get();
+      if (n == nullptr || !n->tracer) return;
+      const Message& m = frame->msg();
+      n->tracer->record(obs::SpanKind::kSend, m.round, m.origin, dst,
+                        m.trace_hop(), m.detector);
+    });
+  }
+  schedule_arrival(src, dst, frame, sim_.now(), arrive, act.corrupt,
+                   act.corrupt_at);
   if (act.duplicate) {
     // The duplicate travels unmodified a little behind the original
     // (a corrupted original still has a healthy twin, and receiver dedup
     // gets exercised either way).
-    schedule_arrival(src, dst, frame, arrive + model_.params().latency / 2,
+    schedule_arrival(src, dst, frame, sim_.now(),
+                     arrive + model_.params().latency / 2,
                      /*corrupt=*/false, 0);
   }
 }
 
 void SimCluster::schedule_arrival(NodeId src, NodeId dst,
-                                  const FrameRef& frame, TimeNs arrive,
-                                  bool corrupt, std::uint64_t corrupt_at) {
-  sim_.schedule_at(arrive, [this, src, dst, frame, corrupt, corrupt_at] {
+                                  const FrameRef& frame, TimeNs sent_at,
+                                  TimeNs arrive, bool corrupt,
+                                  std::uint64_t corrupt_at) {
+  sim_.schedule_at(arrive, [this, src, dst, frame, sent_at, corrupt,
+                            corrupt_at] {
     const TimeNs handed =
         model_.receiver_done(dst, frame->wire_size(), sim_.now());
-    sim_.schedule_at(handed, [this, src, dst, frame, corrupt, corrupt_at] {
+    sim_.schedule_at(handed, [this, src, dst, frame, sent_at, corrupt,
+                              corrupt_at] {
       Node* node = nodes_[dst].get();
       if (!node || node->crashed) return;
       if (!node->active) {
@@ -262,6 +313,7 @@ void SimCluster::schedule_arrival(NodeId src, NodeId dst,
               static_cast<std::uint64_t>(obs::TripCode::kCorruptDelivered),
               src);
           obs::dump_on_trip("corrupt_delivered", recorders());
+          obs::trace_dump_on_trip("corrupt_delivered", tracers());
         }
         ++chaos_corrupt_delivered_;
         if (node->fd) node->fd->on_heartbeat(src, sim_.now());
@@ -272,7 +324,18 @@ void SimCluster::schedule_arrival(NodeId src, NodeId dst,
       }
       if (node->fd) node->fd->on_heartbeat(src, sim_.now());
       if (frame->msg().type != MsgType::kHeartbeat) {
-        node->engine->on_message(src, frame->msg());
+        const Message& m = frame->msg();
+        // Modeled one-way hop latency, live regardless of sampling — the
+        // registry histogram tracing reads its per-hop estimate from.
+        relay_hop_->record(
+            static_cast<std::uint64_t>(std::max<TimeNs>(0, sim_.now() -
+                                                               sent_at)));
+        if (node->tracer && m.trace_sampled() &&
+            (m.type == MsgType::kBroadcast || m.type == MsgType::kUBcast)) {
+          node->tracer->record(obs::SpanKind::kRecv, m.round, m.origin, src,
+                               m.trace_hop(), m.detector);
+        }
+        node->engine->on_message(src, m);
       }
     });
   });
@@ -463,6 +526,35 @@ SimCluster::recorders() const {
                      nodes_[id]->recorder.get());
   }
   return out;
+}
+
+std::vector<std::pair<std::string, const obs::TraceBuffer*>>
+SimCluster::tracers() const {
+  std::vector<std::pair<std::string, const obs::TraceBuffer*>> out;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (!exists(id) || !nodes_[id]->tracer) continue;
+    out.emplace_back("node" + std::to_string(id), nodes_[id]->tracer.get());
+  }
+  return out;
+}
+
+const obs::TraceBuffer* SimCluster::tracer(NodeId id) const {
+  if (!exists(id)) return nullptr;
+  return nodes_[id]->tracer.get();
+}
+
+obs::TraceBuffer* SimCluster::tracer(NodeId id) {
+  if (!exists(id)) return nullptr;
+  return nodes_[id]->tracer.get();
+}
+
+obs::TraceMerge SimCluster::merged_trace() const {
+  obs::TraceMerge merge;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (!exists(id) || !nodes_[id]->tracer) continue;
+    merge.add_spans(nodes_[id]->tracer->spans());
+  }
+  return merge;
 }
 
 obs::Registry& SimCluster::metrics() {

@@ -18,6 +18,7 @@
 #include "core/failure_detector.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "obs/trace.hpp"
 #include "plus/fallback_timer.hpp"
 #include "sim/network_model.hpp"
 #include "sim/simulator.hpp"
@@ -82,6 +83,17 @@ struct ClusterOptions {
   bool flight_recorder = true;
   /// Events retained per node (rounded up to a power of two).
   std::size_t recorder_capacity = 1024;
+
+  /// Cross-node causal tracing (obs/trace.hpp): sample one origin round
+  /// in `trace_sample_period` (0 = off). Sampled broadcasts carry the
+  /// wire trace context; every node records virtual-clock spans that
+  /// merged_trace() / tools/allconcur_trace turn into the round's
+  /// propagation DAG and measured depth. When left at 0, the
+  /// ALLCONCUR_TRACE_PERIOD environment variable (CI chaos jobs set it)
+  /// supplies the period instead.
+  std::uint32_t trace_sample_period = 0;
+  /// Spans retained per node (rounded up to a power of two).
+  std::size_t trace_capacity = 4096;
 
   std::uint64_t seed = 1;
 };
@@ -179,6 +191,19 @@ class SimCluster {
   std::vector<std::pair<std::string, const obs::FlightRecorder*>>
   recorders() const;
 
+  /// Per-node causal-trace span buffer (null when tracing is off or the
+  /// node does not exist).
+  const obs::TraceBuffer* tracer(NodeId id) const;
+  obs::TraceBuffer* tracer(NodeId id);
+  /// (label, tracer) pairs for every traced node — the argument
+  /// obs::trace_dump_on_trip expects (invariant trips dump these next to
+  /// the flight dumps).
+  std::vector<std::pair<std::string, const obs::TraceBuffer*>>
+  tracers() const;
+  /// Cluster-wide merge without sockets: every node's retained spans in
+  /// one TraceMerge, ready for depth/breakdown/Chrome-JSON queries.
+  obs::TraceMerge merged_trace() const;
+
   /// Unified metrics snapshot: aggregate engine counters, chaos injection
   /// counters, and the cluster-level round-latency histogram, refreshed on
   /// each call (same schema as TcpNode::metrics_json).
@@ -203,6 +228,9 @@ class SimCluster {
     std::unique_ptr<plus::FallbackTimer> watchdog;
     /// Round flight recorder (virtual-clock timestamps); null when off.
     std::unique_ptr<obs::FlightRecorder> recorder;
+    /// Causal-trace span buffer (virtual-clock timestamps); null when
+    /// tracing is off.
+    std::unique_ptr<obs::TraceBuffer> tracer;
   };
 
   std::function<bool(NodeId, NodeId)> link_filter_;
@@ -217,8 +245,11 @@ class SimCluster {
   void handle_send(NodeId src, NodeId dst, const core::FrameRef& frame);
   /// Schedules one physical delivery of `frame` at `arrive`; a corrupt
   /// delivery re-parses the damaged wire bytes like a transport would.
+  /// `sent_at` (the sender's hook time) feeds the per-hop relay latency
+  /// histogram at hand-off.
   void schedule_arrival(NodeId src, NodeId dst, const core::FrameRef& frame,
-                        TimeNs arrive, bool corrupt, std::uint64_t corrupt_at);
+                        TimeNs sent_at, TimeNs arrive, bool corrupt,
+                        std::uint64_t corrupt_at);
   void handle_delivery(NodeId id, const core::RoundResult& result);
   void schedule_fd_tick(NodeId id);
   void schedule_watchdog_tick(NodeId id);
@@ -233,6 +264,10 @@ class SimCluster {
   std::uint64_t chaos_corrupt_delivered_ = 0;
   obs::Registry metrics_;
   obs::Histogram* round_latency_;  // owned by metrics_; never null
+  /// Modeled one-way hop latency (sender_done -> handed to the engine)
+  /// per relayed frame — live even with trace sampling off, and the
+  /// per-hop estimate the tracer stamps into sampled frames.
+  obs::Histogram* relay_hop_;  // owned by metrics_; never null
 };
 
 }  // namespace allconcur::api

@@ -269,6 +269,14 @@ void Engine::do_broadcast(RoundState& st) {
   }
   pending_opaque_bytes_ = 0;
   pending_request_bytes_ = 0;
+  if (trace_sampled_round(st.round)) {
+    // Origin stamp: sampled flag + hop 0 in the header's trace byte, the
+    // cumulative one-way estimate (detector word) starts at zero.
+    msg.trace = Message::trace_origin_context();
+    msg.detector = 0;
+    options_.tracer->record(obs::SpanKind::kOrigin, st.round, self_, self_,
+                            0, 0);
+  }
   st.own_broadcast = true;
   st.msgs[self_rank_] = msg.payload;
   st.msg_bytes[self_rank_] = msg.payload_bytes;
@@ -488,15 +496,30 @@ void Engine::handle_bcast(NodeId from, const Message& msg, RoundState& st) {
   // valid when the relay stays on the overlay the message arrived by).
   // Counts actual sends: the skipped inbound link does not inflate the
   // counters.
+  const bool traced = options_.tracer != nullptr && msg.trace_sampled();
   if (st.fast) {
-    stats_.ubcast_sent += fan_out(u_succs_, msg, via_fast ? from : kInvalidNode);
+    if (traced) {
+      // Sampled relay: the copy carries hop+1 and the grown cumulative
+      // estimate (the context mutates per relay, so the shared frame of
+      // this fan-out is re-encoded from the copy).
+      Message out = msg;
+      trace_relay(out, from);
+      stats_.ubcast_sent +=
+          fan_out(u_succs_, out, via_fast ? from : kInvalidNode);
+    } else {
+      stats_.ubcast_sent +=
+          fan_out(u_succs_, msg, via_fast ? from : kInvalidNode);
+    }
   } else {
-    if (via_fast) {
+    if (via_fast || traced) {
       // Late G_U traffic after the fallback transition: convert and
-      // relay reliably (the only case that needs a Message copy).
+      // relay reliably. Sampled relays join this copying path for the
+      // per-hop context mutation.
       Message out = msg;
       out.type = MsgType::kBroadcast;
-      stats_.bcast_sent += send_to_successors(out);
+      if (traced) trace_relay(out, from);
+      stats_.bcast_sent +=
+          send_to_successors(out, via_fast ? kInvalidNode : from);
     } else {
       stats_.bcast_sent += send_to_successors(msg, from);
     }
@@ -550,6 +573,17 @@ void Engine::enter_fallback(RoundState& st) {
   st.fast = false;
   st.fell_back = true;
   rec(obs::EventKind::kFallbackEnter, st.round, st.have_count);
+  if (trace_sampled_round(st.round)) {
+    // The fast -> tracked handoff is a causal edge of every sampled
+    // broadcast in this round: annotate it so the merged DAG shows why
+    // the propagation re-entered G_R (hop field = messages held).
+    options_.tracer->record(
+        obs::SpanKind::kFallback, st.round, self_, self_,
+        static_cast<std::uint8_t>(
+            st.have_count > Message::kTraceHopMask ? Message::kTraceHopMask
+                                                   : st.have_count),
+        static_cast<std::uint32_t>(st.fallback_attempt));
+  }
 
   // Re-execute reliably: our own broadcast must reach G_R. If it already
   // went out (over G_U), re-issue it as a ⟨BCAST⟩; if we have not
@@ -618,6 +652,12 @@ void Engine::handle_fallback(NodeId from, const Message& msg,
                              RoundState& st) {
   ++stats_.fallback_received;
   rec(obs::EventKind::kFallbackRecv, msg.round, msg.detector, from);
+  if (st.fast && trace_sampled_round(msg.round)) {
+    // Explicit DAG edge: the peer's trigger is what pushes this node's
+    // sampled round off the fast path (peer = the trigger's initiator).
+    options_.tracer->record(obs::SpanKind::kFallback, msg.round, self_,
+                            msg.origin, 0, msg.detector);
+  }
   const std::uint32_t attempt = msg.detector;
   if (st.fallback_relayed && attempt <= st.fallback_attempt) {
     return;  // this trigger wave was already relayed and acted on

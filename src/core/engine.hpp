@@ -70,6 +70,7 @@
 #include "core/tracking.hpp"
 #include "core/view.hpp"
 #include "obs/recorder.hpp"
+#include "obs/trace.hpp"
 
 namespace allconcur::core {
 
@@ -163,6 +164,16 @@ struct EngineOptions {
   /// deployment timestamps via its clock (FlightRecorder::
   /// set_time_source). Not owned.
   obs::FlightRecorder* recorder = nullptr;
+  /// Cross-node causal tracer (may be null; see obs/trace.hpp). The
+  /// engine stamps sampled origins (trace context in the frame header),
+  /// increments the hop count and the cumulative one-way estimate at
+  /// every relay, and records its process spans against this buffer.
+  /// Not owned.
+  obs::TraceBuffer* tracer = nullptr;
+  /// Sample one A-broadcast origin round in `trace_sample_period` (0 =
+  /// tracing off). Round-number based, so every origin samples the same
+  /// rounds and a sampled round's full propagation DAG is captured.
+  std::uint32_t trace_sample_period = 0;
 };
 
 class Engine {
@@ -399,6 +410,24 @@ class Engine {
   void rec(obs::EventKind k, Round r, std::uint64_t a = 0,
            std::uint64_t b = 0) {
     if (rec_ != nullptr) rec_->record(k, r, a, b);
+  }
+
+  /// Causal-tracer helpers (obs/trace.hpp). trace_sampled_round answers
+  /// whether a fresh origin broadcast in round r should carry the trace
+  /// context; trace_relay mutates an in-flight copy of a sampled message
+  /// for its next hop (hop count +1, cumulative estimate += this node's
+  /// per-hop estimate) and records the process span.
+  bool trace_sampled_round(Round r) const {
+    return options_.tracer != nullptr && options_.trace_sample_period != 0 &&
+           r % options_.trace_sample_period == 0;
+  }
+  void trace_relay(Message& out, NodeId from) {
+    out.trace = Message::trace_relay_context(out.trace);
+    const std::uint32_t step = options_.tracer->hop_estimate_ns();
+    const std::uint32_t est = out.detector;
+    out.detector = est > 0xffffffffu - step ? 0xffffffffu : est + step;
+    options_.tracer->record(obs::SpanKind::kProcess, out.round, out.origin,
+                            from, out.trace_hop(), out.detector);
   }
 
   NodeId self_;

@@ -147,7 +147,7 @@ void encode_header(const Message& m, std::uint8_t* out) {
   ALLCONCUR_ASSERT(m.payload_bytes <= Message::kMaxPayloadBytes,
                    "payload exceeds the 32-bit wire length field");
   put<std::uint8_t>(out, 0, static_cast<std::uint8_t>(m.type));
-  put<std::uint8_t>(out, 1, 0);
+  put<std::uint8_t>(out, 1, m.trace);
   put<std::uint16_t>(out, 2, Message::kFrameMagic);
   put<std::uint32_t>(out, 4, m.origin);
   put<std::uint32_t>(out, 8, m.detector);
@@ -167,6 +167,7 @@ std::optional<Message> decode_header(std::span<const std::uint8_t> bytes) {
   if (raw_type < 1 || raw_type > 7) return std::nullopt;
   if (get<std::uint16_t>(bytes, 2) != Message::kFrameMagic) return std::nullopt;
   m.type = static_cast<MsgType>(raw_type);
+  m.trace = get<std::uint8_t>(bytes, 1);
   m.origin = get<std::uint32_t>(bytes, 4);
   m.detector = get<std::uint32_t>(bytes, 8);
   m.payload_bytes = get<std::uint32_t>(bytes, 12);

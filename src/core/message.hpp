@@ -41,7 +41,17 @@ struct Message {
   /// that decided its message set; HB: the heartbeating server.
   NodeId origin = kInvalidNode;
   /// FAIL only: the detecting successor p_k.
+  /// Sampled BCAST/UBCAST (trace bit set): repurposed as the cumulative
+  /// one-way latency estimate in nanoseconds, saturating — each relay adds
+  /// its local per-hop estimate before re-encoding (obs/trace.hpp).
   NodeId detector = kInvalidNode;
+  /// Causal-trace context riding header byte 1 (the reserved byte of the
+  /// 32-byte dual-checksum layout, previously written as zero and never
+  /// read). Bit 7: this broadcast is trace-sampled; bits 0..6: hop count,
+  /// incremented at every relay, saturating at 127 (diameters are
+  /// O(log n), so 7 bits never saturate in practice). Zero for unsampled
+  /// traffic, so the wire image of a non-traced frame is unchanged.
+  std::uint8_t trace = 0;
   /// BCAST only; may be null together with payload_bytes > 0 for
   /// "size-only" payloads used by throughput benches.
   Payload payload;
@@ -69,6 +79,22 @@ struct Message {
   /// this rather than silently truncating the frame length.
   static constexpr std::uint64_t kMaxPayloadBytes = 0xffffffffull;
   std::size_t wire_size() const { return kHeaderBytes + payload_bytes; }
+
+  /// Trace-context accessors over the `trace` byte.
+  static constexpr std::uint8_t kTraceSampled = 0x80;
+  static constexpr std::uint8_t kTraceHopMask = 0x7f;
+  bool trace_sampled() const { return (trace & kTraceSampled) != 0; }
+  std::uint8_t trace_hop() const { return trace & kTraceHopMask; }
+  /// Context for a freshly sampled origin broadcast: sampled, hop 0.
+  static constexpr std::uint8_t trace_origin_context() {
+    return kTraceSampled;
+  }
+  /// Context for relaying `t` one hop further (saturating hop count).
+  static constexpr std::uint8_t trace_relay_context(std::uint8_t t) {
+    const std::uint8_t hop = t & kTraceHopMask;
+    return static_cast<std::uint8_t>(
+        (t & kTraceSampled) | (hop == kTraceHopMask ? hop : hop + 1));
+  }
 
   static Message bcast(Round r, NodeId origin, Payload p);
   /// Size-only broadcast: carries no bytes but is charged for them.

@@ -58,11 +58,22 @@ constexpr std::size_t kCompactAt = 64 * 1024;
 TcpNode::TcpNode(TcpNodeOptions options, DeliverFn on_deliver)
     : options_(std::move(options)),
       on_deliver_(std::move(on_deliver)),
-      recorder_(options_.recorder_capacity, options_.recorder_enabled) {
+      recorder_(options_.recorder_capacity, options_.recorder_enabled),
+      tracer_(options_.trace_capacity, options_.trace_sample_period != 0) {
   if (!options_.builder) options_.builder = core::make_default_graph_builder();
   // Events are stamped with the event-loop wake time: one clock read per
   // wake covers every event it triggers (the wire path stays clean).
   recorder_.set_time_source(&loop_now_);
+  tracer_.set_time_source(&loop_now_);
+  tracer_.set_self(options_.self);
+  relay_hop_ = &metrics_.histogram(
+      "relay_hop_latency_ns",
+      "Per-hop relay latency: one broadcast frame's parse-to-relayed time "
+      "on this node (monotonic clock around the engine's relay decision). "
+      "Live regardless of trace sampling; its mean is the per-hop estimate "
+      "sampled frames accumulate",
+      obs::Unit::kNanoseconds);
+  tracer_.set_hop_histogram(relay_hop_);
 
   core::Engine::Hooks hooks;
   hooks.send = [this](NodeId dst, const core::FrameRef& frame) {
@@ -77,6 +88,8 @@ TcpNode::TcpNode(TcpNodeOptions options, DeliverFn on_deliver)
   eopts.window = options_.window;
   eopts.fast_builder = options_.fast_builder;
   eopts.recorder = &recorder_;
+  eopts.tracer = &tracer_;
+  eopts.trace_sample_period = options_.trace_sample_period;
   engine_ = std::make_unique<core::Engine>(
       options_.self,
       core::View(options_.members, options_.builder, options_.fast_builder),
@@ -386,7 +399,27 @@ void TcpNode::parse_frames(Conn& conn) {
                               fd_->on_heartbeat(conn.peer, monotonic_now());
                             }
                             if (msg.type == core::MsgType::kHeartbeat) return;
-                            engine_->on_message(conn.peer, msg);
+                            const bool bc =
+                                msg.type == core::MsgType::kBroadcast ||
+                                msg.type == core::MsgType::kUBcast;
+                            if (bc) {
+                              if (msg.trace_sampled()) {
+                                tracer_.record(obs::SpanKind::kRecv, msg.round,
+                                               msg.origin, conn.peer,
+                                               msg.trace_hop(), msg.detector);
+                              }
+                              // Parse-to-relayed time feeds the per-hop
+                              // histogram for every broadcast frame — the
+                              // metric (and the tracer's hop estimate)
+                              // stays live with sampling off.
+                              const TimeNs t0 = monotonic_now();
+                              engine_->on_message(conn.peer, msg);
+                              relay_hop_->record(
+                                  static_cast<std::uint64_t>(
+                                      std::max<TimeNs>(0, monotonic_now() - t0)));
+                            } else {
+                              engine_->on_message(conn.peer, msg);
+                            }
                           });
   if (ss.corrupt_drops > 0) {
     net_.checksum_drops.fetch_add(ss.corrupt_drops,
@@ -470,6 +503,14 @@ void TcpNode::queue_frame_now(NodeId dst, const core::FrameRef& frame) {
   const auto conn_it = conns_.find(it->second);
   if (conn_it == conns_.end()) return;
   Conn& conn = conn_it->second;
+  if (tracer_.enabled()) {
+    const core::Message& m = frame->msg();
+    if (m.trace_sampled() && (m.type == core::MsgType::kBroadcast ||
+                              m.type == core::MsgType::kUBcast)) {
+      tracer_.record(obs::SpanKind::kEnqueue, m.round, m.origin, dst,
+                     m.trace_hop(), m.detector);
+    }
+  }
   conn.wqueue.push_back(frame);  // shared reference, no copy
   if (!conn.flush_pending) {
     conn.flush_pending = true;
@@ -508,6 +549,15 @@ void TcpNode::advance_tx(Conn& conn, std::size_t sent) {
     const std::size_t remaining = front.wire_size() - conn.wqueue_offset;
     if (sent >= remaining) {
       sent -= remaining;
+      if (tracer_.enabled()) {
+        const core::Message& m = front.msg();
+        if (m.trace_sampled() && (m.type == core::MsgType::kBroadcast ||
+                                  m.type == core::MsgType::kUBcast)) {
+          // The frame's last byte entered the kernel: the wire edge starts.
+          tracer_.record(obs::SpanKind::kSend, m.round, m.origin, conn.peer,
+                         m.trace_hop(), m.detector);
+        }
+      }
       conn.wqueue.pop_front();
       conn.wqueue_offset = 0;
       net_.frames_sent.fetch_add(1, std::memory_order_relaxed);
@@ -722,10 +772,12 @@ std::string TcpNode::admin_body(const std::string& path, bool& ok) {
   if (path == "/metrics.json") return metrics_json();
   if (path == "/recorder") return recorder_.dump_json(label);
   if (path == "/recorder.txt") return recorder_.dump_text(label);
+  if (path == "/trace") return tracer_.dump_json(label);
   if (path == "/healthz") return "ok\n";
   ok = false;
   return "unknown path: " + path +
-         " (try /metrics /metrics.json /recorder /recorder.txt /healthz)\n";
+         " (try /metrics /metrics.json /recorder /recorder.txt /trace "
+         "/healthz)\n";
 }
 
 bool TcpNode::on_admin_io(int fd, std::uint32_t events) {
@@ -766,9 +818,10 @@ bool TcpNode::on_admin_io(int fd, std::uint32_t events) {
     bool found = false;
     const std::string body = admin_body(pth, found);
     const char* status = found ? "200 OK" : "404 Not Found";
-    const char* ctype = (pth == "/metrics.json" || pth == "/recorder")
-                            ? "application/json"
-                            : "text/plain; charset=utf-8";
+    const char* ctype =
+        (pth == "/metrics.json" || pth == "/recorder" || pth == "/trace")
+            ? "application/json"
+            : "text/plain; charset=utf-8";
     ac.response = "HTTP/1.0 " + std::string(status) +
                   "\r\nContent-Type: " + ctype +
                   "\r\nContent-Length: " + std::to_string(body.size()) +

@@ -34,6 +34,7 @@
 #include "core/failure_detector.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
+#include "obs/trace.hpp"
 #include "plus/fallback_timer.hpp"
 
 namespace allconcur::net {
@@ -81,9 +82,10 @@ struct TcpNodeOptions {
   /// Tests shrink this to force partial vectored writes (backpressure).
   int sndbuf_bytes = 0;
   /// Introspection listener: node i serves HTTP/1.0 GETs ("/metrics",
-  /// "/metrics.json", "/recorder", "/healthz") on admin_port + i. 0
-  /// disables the listener (metrics and the recorder stay readable
-  /// in-process). Consumed by tools/allconcur_inspect.
+  /// "/metrics.json", "/recorder", "/trace", "/healthz") on
+  /// admin_port + i. 0 disables the listener (metrics and the recorder
+  /// stay readable in-process). Consumed by tools/allconcur_inspect and
+  /// tools/allconcur_trace.
   std::uint16_t admin_port = 0;
   /// Flight-recorder ring size (events per node; rounded up to a power
   /// of two). The ring is fixed-allocation: old events overwrite.
@@ -92,6 +94,14 @@ struct TcpNodeOptions {
   /// to one predictable branch (bench/wire_path gates the enabled-mode
   /// overhead at <= 5%).
   bool recorder_enabled = true;
+  /// Cross-node causal tracing (obs/trace.hpp): sample one origin round
+  /// in `trace_sample_period` (0 = off). Sampled broadcasts carry the
+  /// wire trace context; this node records recv/enqueue/send spans
+  /// stamped with the event-loop wake clock, dumped via the admin
+  /// `/trace` route and merged by tools/allconcur_trace.
+  std::uint32_t trace_sample_period = 0;
+  /// Spans retained per node (rounded up to a power of two).
+  std::size_t trace_capacity = 4096;
 };
 
 /// Wire-level transport counters (snapshot; safe to read from any thread).
@@ -153,6 +163,10 @@ class TcpNode {
   /// inherently racy — snapshot-quality only, same caveat as stats().
   const obs::FlightRecorder& recorder() const { return recorder_; }
   obs::FlightRecorder& recorder() { return recorder_; }
+
+  /// Causal-trace span buffer (per node); same racy-snapshot caveat.
+  const obs::TraceBuffer& tracer() const { return tracer_; }
+  obs::TraceBuffer& tracer() { return tracer_; }
 
   /// Refreshes the unified metrics registry from the engine / wire /
   /// chaos counters and renders it. Safe from any thread (counter reads
@@ -254,7 +268,14 @@ class TcpNode {
   // recorder stamps events with — one clock_gettime per wake, not per
   // event (the wire path stays syscall-free).
   obs::FlightRecorder recorder_;
+  obs::TraceBuffer tracer_;
   obs::Registry metrics_;
+  /// Per-hop relay latency (frame parsed -> engine relay done, measured
+  /// per broadcast frame on the monotonic clock). Registered at
+  /// construction so the Prometheus exposition always carries it, even
+  /// with trace sampling off; its running mean is the per-hop estimate
+  /// sampled frames accumulate. Owned by metrics_; never null.
+  obs::Histogram* relay_hop_ = nullptr;
   TimeNs loop_now_ = 0;
   std::uint64_t chaos_phase_mask_ = 0;  ///< last recorded phase set
 

@@ -14,26 +14,34 @@ namespace allconcur::obs {
 namespace {
 
 /// Reads until EOF or timeout; the admin server closes after the body.
-bool read_all(int fd, int timeout_ms, std::string& out) {
+/// Distinguishes the two failure shapes: poll expiring (timeout) versus
+/// the socket erroring out (connection failure).
+FetchStatus read_all(int fd, int timeout_ms, std::string& out) {
   char buf[4096];
   for (;;) {
     pollfd p{fd, POLLIN, 0};
     const int rv = ::poll(&p, 1, timeout_ms);
-    if (rv <= 0) return false;
+    if (rv == 0) return FetchStatus::kTimeout;
+    if (rv < 0) return FetchStatus::kConnectFail;
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n < 0) return false;
-    if (n == 0) return true;
+    if (n < 0) return FetchStatus::kConnectFail;
+    if (n == 0) return FetchStatus::kOk;
     out.append(buf, static_cast<std::size_t>(n));
   }
+}
+
+std::optional<std::string> fail(FetchStatus why, FetchStatus* status) {
+  if (status != nullptr) *status = why;
+  return std::nullopt;
 }
 
 }  // namespace
 
 std::optional<std::string> admin_fetch(std::uint16_t port,
                                        const std::string& path,
-                                       int timeout_ms) {
+                                       int timeout_ms, FetchStatus* status) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return std::nullopt;
+  if (fd < 0) return fail(FetchStatus::kConnectFail, status);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -41,7 +49,7 @@ std::optional<std::string> admin_fetch(std::uint16_t port,
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
       0) {
     ::close(fd);
-    return std::nullopt;
+    return fail(FetchStatus::kConnectFail, status);
   }
   const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
   std::size_t sent = 0;
@@ -49,33 +57,58 @@ std::optional<std::string> admin_fetch(std::uint16_t port,
     const ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
     if (n <= 0) {
       ::close(fd);
-      return std::nullopt;
+      return fail(FetchStatus::kConnectFail, status);
     }
     sent += static_cast<std::size_t>(n);
   }
   std::string resp;
-  const bool ok = read_all(fd, timeout_ms, resp);
+  const FetchStatus read_st = read_all(fd, timeout_ms, resp);
   ::close(fd);
-  if (!ok) return std::nullopt;
+  if (read_st != FetchStatus::kOk) return fail(read_st, status);
   // "HTTP/1.0 200 OK\r\n...headers...\r\n\r\n<body>"
-  if (resp.rfind("HTTP/", 0) != 0) return std::nullopt;
+  if (resp.rfind("HTTP/", 0) != 0) {
+    return fail(FetchStatus::kBadResponse, status);
+  }
   const std::size_t sp = resp.find(' ');
   if (sp == std::string::npos || resp.compare(sp + 1, 3, "200") != 0) {
-    return std::nullopt;
+    return fail(FetchStatus::kHttpError, status);
   }
   const std::size_t body = resp.find("\r\n\r\n");
-  if (body == std::string::npos) return std::nullopt;
+  if (body == std::string::npos) {
+    return fail(FetchStatus::kBadResponse, status);
+  }
+  if (status != nullptr) *status = FetchStatus::kOk;
   return resp.substr(body + 4);
 }
 
-int run_inspect(std::uint16_t port, const std::string& path, std::FILE* out) {
-  const auto body = admin_fetch(port, path);
+int run_inspect(std::uint16_t port, const std::string& path, std::FILE* out,
+                int timeout_ms) {
+  FetchStatus st = FetchStatus::kOk;
+  const auto body = admin_fetch(port, path, timeout_ms, &st);
   if (!body) {
-    std::fprintf(stderr,
-                 "allconcur_inspect: GET 127.0.0.1:%u %s failed "
-                 "(is the node running with --admin-port?)\n",
-                 static_cast<unsigned>(port), path.c_str());
-    return 1;
+    const char* why = "failed";
+    int code = 1;
+    switch (st) {
+      case FetchStatus::kTimeout:
+        why = "timed out (node busy or hung? raise --timeout-ms)";
+        code = 3;
+        break;
+      case FetchStatus::kHttpError:
+        why = "returned a non-200 status (unknown path?)";
+        code = 4;
+        break;
+      case FetchStatus::kConnectFail:
+        why = "failed (is the node running with --admin-port?)";
+        code = 1;
+        break;
+      default:
+        why = "returned a malformed response";
+        code = 1;
+        break;
+    }
+    std::fprintf(stderr, "allconcur_inspect: GET 127.0.0.1:%u %s %s\n",
+                 static_cast<unsigned>(port), path.c_str(), why);
+    return code;
   }
   std::fwrite(body->data(), 1, body->size(), out);
   if (!body->empty() && body->back() != '\n') std::fputc('\n', out);

@@ -14,14 +14,29 @@
 
 namespace allconcur::obs {
 
+/// Why an admin_fetch produced no body. A timeout is operationally a
+/// different failure from a refused connection (node down) or a 404
+/// (wrong path), so the tool surfaces each as its own exit code.
+enum class FetchStatus {
+  kOk,          ///< 200 with a body
+  kConnectFail, ///< socket/connect/send failed — nothing is listening
+  kTimeout,     ///< connected, but the response did not finish in time
+  kHttpError,   ///< completed response with a non-200 status line
+  kBadResponse, ///< completed bytes that do not parse as HTTP
+};
+
 /// Blocking HTTP/1.0 GET against 127.0.0.1:`port`. Returns the response
-/// body on a 200, nullopt on connect/IO failure or non-200 status.
+/// body on a 200, nullopt otherwise; `status` (when non-null) reports
+/// which way it failed.
 std::optional<std::string> admin_fetch(std::uint16_t port,
                                        const std::string& path,
-                                       int timeout_ms = 2000);
+                                       int timeout_ms = 2000,
+                                       FetchStatus* status = nullptr);
 
 /// The `allconcur_inspect` entry point: fetches `path` from the admin
-/// port and writes the body to `out`. Returns a process exit code.
-int run_inspect(std::uint16_t port, const std::string& path, std::FILE* out);
+/// port and writes the body to `out`. Exit codes: 0 = ok, 1 = connect or
+/// malformed response, 3 = timeout, 4 = non-200 status.
+int run_inspect(std::uint16_t port, const std::string& path, std::FILE* out,
+                int timeout_ms = 2000);
 
 }  // namespace allconcur::obs

@@ -228,8 +228,25 @@ std::string Registry::to_json(int indent) const {
 std::string Registry::to_prometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
+  // Prometheus text format: HELP text escapes backslash and newline
+  // (label values additionally escape the double quote, handled inline
+  // below should labeled series ever carry dynamic values).
+  const auto help_escape = [](const std::string& s) {
+    std::string esc;
+    esc.reserve(s.size());
+    for (char c : s) {
+      if (c == '\\') {
+        esc += "\\\\";
+      } else if (c == '\n') {
+        esc += "\\n";
+      } else {
+        esc += c;
+      }
+    }
+    return esc;
+  };
   const auto header = [&](const Desc& d, const char* type) {
-    out += "# HELP allconcur_" + d.name + " " + d.help;
+    out += "# HELP allconcur_" + d.name + " " + help_escape(d.help);
     if (d.unit != Unit::kNone) {
       out += " [";
       out += unit_name(d.unit);

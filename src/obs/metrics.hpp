@@ -130,6 +130,13 @@ class Histogram {
   Snapshot snapshot() const;
 
   std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Running mean from two relaxed loads — no snapshot, so hot paths that
+  /// need a live estimate (the tracer's per-hop stamp) can afford it.
+  double mean() const {
+    const std::uint64_t c = count();
+    return c ? static_cast<double>(sum()) / static_cast<double>(c) : 0.0;
+  }
   std::uint64_t overflow_count() const {
     return overflow_.load(std::memory_order_relaxed);
   }

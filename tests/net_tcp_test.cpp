@@ -7,6 +7,7 @@
 #include <cstdlib>
 
 #include "obs/inspect.hpp"
+#include "obs/trace.hpp"
 #include "tcp_cluster.hpp"
 
 namespace allconcur::net {
@@ -337,8 +338,70 @@ TEST(TcpCluster, AdminEndpointServesLiveMetricsAndRecorder) {
   EXPECT_NE(recorder->find("\"event\": \"delivered\""), std::string::npos);
   EXPECT_NE(recorder->find("\"node\": \"node0\""), std::string::npos);
 
-  // Unknown paths 404 through admin_fetch's status check.
-  EXPECT_FALSE(obs::admin_fetch(admin_base, "/nope").has_value());
+  // Unknown paths 404 through admin_fetch's status check — surfaced as a
+  // distinct status (and exit code 4 through run_inspect).
+  obs::FetchStatus st = obs::FetchStatus::kOk;
+  EXPECT_FALSE(obs::admin_fetch(admin_base, "/nope", 2000, &st).has_value());
+  EXPECT_EQ(st, obs::FetchStatus::kHttpError);
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  EXPECT_EQ(obs::run_inspect(admin_base, "/nope", sink), 4);
+  std::fclose(sink);
+}
+
+TEST(TcpCluster, AdminFetchReportsConnectFailureDistinctly) {
+  // Nothing listens here: the status must say connect failure, not
+  // timeout, and run_inspect must exit 1 (vs 3 for a timeout).
+  obs::FetchStatus st = obs::FetchStatus::kOk;
+  EXPECT_FALSE(obs::admin_fetch(1, "/healthz", 200, &st).has_value());
+  EXPECT_EQ(st, obs::FetchStatus::kConnectFail);
+  std::FILE* sink = std::tmpfile();
+  ASSERT_NE(sink, nullptr);
+  EXPECT_EQ(obs::run_inspect(1, "/healthz", sink, 200), 1);
+  std::fclose(sink);
+}
+
+TEST(TcpCluster, TraceRouteServesSampledSpansAcrossNodes) {
+  // The causal tracer end to end over real sockets: every round sampled,
+  // spans fetched over the admin `/trace` route (the same path
+  // tools/allconcur_trace walks) and merged into the propagation DAG.
+  const std::size_t kNodes = 4;
+  std::uint16_t admin_base = 0;
+  TcpCluster c(kNodes, core::FdMode::kPerfect, ms(250),
+               [&admin_base](TcpNodeOptions& o) {
+                 admin_base = static_cast<std::uint16_t>(o.base_port + 5000);
+                 o.admin_port = admin_base;
+                 o.trace_sample_period = 1;
+               });
+  for (NodeId i = 0; i < kNodes; ++i) c.node(i).broadcast_now();
+  std::vector<NodeId> all(kNodes);
+  for (NodeId i = 0; i < kNodes; ++i) all[i] = i;
+  ASSERT_TRUE(c.wait_rounds(all, 1, sec(10)));
+
+  obs::TraceMerge merge;
+  for (NodeId i = 0; i < kNodes; ++i) {
+    const auto dump = obs::admin_fetch(
+        static_cast<std::uint16_t>(admin_base + i), "/trace");
+    ASSERT_TRUE(dump.has_value()) << "node " << i;
+    EXPECT_GT(merge.add_dump(*dump), 0u) << "node " << i;
+  }
+  const auto broadcasts = merge.broadcasts();
+  ASSERT_FALSE(broadcasts.empty());
+  bool saw_round0 = false;
+  for (const auto& b : broadcasts) {
+    if (b.round != 0) continue;
+    saw_round0 = true;
+    // Over GS(4, d) every broadcast reaches the other 3 nodes.
+    EXPECT_EQ(b.reached, kNodes - 1) << "origin " << b.origin;
+    EXPECT_GE(b.depth, 1u);
+    EXPECT_LT(b.depth, kNodes);
+  }
+  EXPECT_TRUE(saw_round0);
+  // The per-hop relay latency histogram is live on the metrics plane too.
+  const auto prom = obs::admin_fetch(admin_base, "/metrics");
+  ASSERT_TRUE(prom.has_value());
+  EXPECT_NE(prom->find("allconcur_relay_hop_latency_ns_count"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -289,5 +289,61 @@ TEST(Registry, PrometheusExpositionPrefixesAndTypes) {
   EXPECT_NE(prom.find("allconcur_lat_count 2\n"), std::string::npos);
 }
 
+TEST(Registry, PrometheusHelpEscapesBackslashAndNewline) {
+  Registry r;
+  r.counter("weird", "first line\nsecond \\ line").set(1);
+  const std::string prom = r.to_prometheus();
+  // The HELP text must stay on one physical line: the newline becomes the
+  // two characters \n, the backslash doubles.
+  EXPECT_NE(prom.find("# HELP allconcur_weird first line\\nsecond \\\\ line"),
+            std::string::npos)
+      << prom;
+  EXPECT_EQ(prom.find("first line\nsecond"), std::string::npos);
+  // Every line is either a comment or a sample — a raw newline in HELP
+  // would orphan "second \ line" as a garbage sample line.
+  std::size_t at = 0;
+  while (at < prom.size()) {
+    std::size_t eol = prom.find('\n', at);
+    if (eol == std::string::npos) eol = prom.size();
+    const std::string line = prom.substr(at, eol - at);
+    EXPECT_TRUE(line.empty() || line[0] == '#' ||
+                line.rfind("allconcur_", 0) == 0)
+        << "orphan line: " << line;
+    at = eol + 1;
+  }
+}
+
+TEST(Registry, PrometheusUnitSuffixesPerKind) {
+  Registry r;
+  r.counter("a", "bytes counter", Unit::kBytes).set(1);
+  r.gauge("b", "rounds gauge", Unit::kRounds).set(2);
+  r.histogram("c", "ns histogram", Unit::kNanoseconds).record(3);
+  r.counter("d", "unitless counter", Unit::kNone).set(4);
+  const std::string prom = r.to_prometheus();
+  EXPECT_NE(prom.find("# HELP allconcur_a bytes counter [bytes]"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# HELP allconcur_b rounds gauge [rounds]"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# HELP allconcur_c ns histogram [ns]"),
+            std::string::npos);
+  // Unit::kNone renders no bracket suffix at all.
+  EXPECT_NE(prom.find("# HELP allconcur_d unitless counter\n"),
+            std::string::npos);
+}
+
+TEST(Registry, PrometheusEmptyHistogramExposesZeros) {
+  Registry r;
+  (void)r.histogram("idle", "never recorded", Unit::kNanoseconds);
+  const std::string prom = r.to_prometheus();
+  EXPECT_NE(prom.find("# TYPE allconcur_idle summary"), std::string::npos);
+  EXPECT_NE(prom.find("allconcur_idle{quantile=\"0.5\"} 0\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("allconcur_idle{quantile=\"0.99\"} 0\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("allconcur_idle_sum 0\n"), std::string::npos);
+  EXPECT_NE(prom.find("allconcur_idle_count 0\n"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace allconcur::obs

@@ -60,6 +60,57 @@ TEST(FlightRecorder, WraparoundKeepsTheMostRecentEvents) {
   }
 }
 
+TEST(FlightRecorder, ExactCapacityBoundaryDropsNothing) {
+  FlightRecorder rec(64);
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    rec.record(EventKind::kMsgRecv, 0, i);
+  }
+  EXPECT_EQ(rec.size(), 64u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_EQ(rec.events().front().seq, 0u);
+  // One past capacity evicts exactly the oldest record.
+  rec.record(EventKind::kMsgRecv, 0, 64);
+  EXPECT_EQ(rec.size(), 64u);
+  EXPECT_EQ(rec.dropped(), 1u);
+  EXPECT_EQ(rec.events().front().seq, 1u);
+  EXPECT_EQ(rec.events().back().a, 64u);
+}
+
+TEST(FlightRecorder, ClearAfterWrapRestartsSequencing) {
+  FlightRecorder rec(4);
+  for (std::uint64_t i = 0; i < 11; ++i) {
+    rec.record(EventKind::kMsgRecv, i, i);
+  }
+  ASSERT_GT(rec.dropped(), 0u);
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  EXPECT_EQ(rec.total_recorded(), 0u);
+  rec.record(EventKind::kRoundOpen, 99);
+  const auto evs = rec.events();
+  ASSERT_EQ(evs.size(), 1u);
+  EXPECT_EQ(evs[0].seq, 0u);  // seq restarts, no ghost of the wrapped ring
+  EXPECT_EQ(evs[0].round, 99u);
+}
+
+TEST(FlightRecorder, EventsForRoundSurvivesWraparound) {
+  FlightRecorder rec(8);
+  // 24 records across rounds 0..2; only the last 8 (seq 16..23) survive.
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    rec.record(EventKind::kMsgRecv, i % 3, i);
+  }
+  const auto r0 = rec.events_for_round(0);
+  ASSERT_FALSE(r0.empty());
+  for (const Event& e : r0) {
+    EXPECT_EQ(e.round, 0u);
+    EXPECT_GE(e.seq, 16u);  // nothing from the evicted prefix leaks back
+    EXPECT_EQ(e.a % 3, 0u);
+  }
+  // 8 retained records spread evenly over 3 rounds: |round 0| is 3 or 2.
+  EXPECT_GE(r0.size(), 2u);
+  EXPECT_LE(r0.size(), 3u);
+}
+
 TEST(FlightRecorder, EventsForRoundFiltersAndPreservesOrder) {
   FlightRecorder rec(64);
   for (std::uint64_t i = 0; i < 30; ++i) {

@@ -2,7 +2,8 @@
 //
 // Fetches the admin endpoint (TcpNodeOptions::admin_port + node id) and
 // prints the body: the unified metrics plane in Prometheus text or JSON,
-// the round flight recorder as JSON-lines or text, or a health probe.
+// the round flight recorder as JSON-lines or text, the causal-trace span
+// dump (merge with tools/allconcur_trace), or a health probe.
 //
 //   $ allconcur_inspect --port=41000                       # /metrics
 //   $ allconcur_inspect --port=41000 --path=/metrics.json
@@ -25,7 +26,9 @@ int main(int argc, char** argv) {
     std::printf(
         "usage: allconcur_inspect --port=<admin base port> "
         "[--node=<id>] [--path=/metrics|/metrics.json|/recorder|"
-        "/recorder.txt|/healthz]\n");
+        "/recorder.txt|/trace|/healthz] [--timeout-ms=<n>]\n"
+        "exit codes: 0 ok, 1 connect/malformed, 2 bad args, 3 timeout, "
+        "4 non-200\n");
     return 0;
   }
   const auto base = flags.get_int("port", 0);
@@ -43,6 +46,11 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string path = flags.get("path", "/metrics");
-  return allconcur::obs::run_inspect(
-      static_cast<std::uint16_t>(port), path, stdout);
+  const auto timeout_ms = flags.get_int("timeout-ms", 2000);
+  if (timeout_ms <= 0) {
+    std::fprintf(stderr, "allconcur_inspect: --timeout-ms must be > 0\n");
+    return 2;
+  }
+  return allconcur::obs::run_inspect(static_cast<std::uint16_t>(port), path,
+                                     stdout, static_cast<int>(timeout_ms));
 }

@@ -33,7 +33,8 @@ namespace {
 struct Cluster {
   std::vector<std::unique_ptr<smr::KvNode>> nodes;
 
-  explicit Cluster(std::size_t n, std::uint16_t admin_port = 0) {
+  explicit Cluster(std::size_t n, std::uint16_t admin_port = 0,
+                   std::uint32_t trace_period = 0) {
     const auto base = static_cast<std::uint16_t>(
         20000 + (static_cast<unsigned>(::getpid()) * 137) % 30000);
     std::vector<NodeId> members(n);
@@ -44,6 +45,7 @@ struct Cluster {
       opt.members = members;
       opt.base_port = base;
       opt.admin_port = admin_port;
+      opt.trace_sample_period = trace_period;
       nodes.push_back(std::make_unique<smr::KvNode>(std::move(opt)));
     }
     for (auto& node : nodes) node->start();
@@ -90,7 +92,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: allconcur_kv <put|get|bench> [--n=5] [--key=...] "
                "[--value=...] [--put-first=...] [--ops=500] "
-               "[--value-bytes=64] [--smoke] [--admin-port=0]\n");
+               "[--value-bytes=64] [--smoke] [--admin-port=0] "
+               "[--trace-period=0]\n");
   return 2;
 }
 
@@ -194,9 +197,15 @@ int main(int argc, char** argv) {
 
   // --admin-port: serve the obs admin endpoint on admin-port + node id
   // while the command runs (0 = off) — allconcur_inspect can fetch live
-  // metrics/recorder snapshots from another terminal.
-  Cluster cluster(n, static_cast<std::uint16_t>(
-                         flags.get_int("admin-port", 0)));
+  // metrics/recorder snapshots from another terminal. --trace-period
+  // additionally arms the causal tracer (sample 1 round in N, 0 = off);
+  // `allconcur_trace --port=<admin-port> --nodes=<n>` then merges the
+  // live span dumps into the propagation DAG.
+  Cluster cluster(n,
+                  static_cast<std::uint16_t>(flags.get_int("admin-port", 0)),
+                  static_cast<std::uint32_t>(
+                      std::max<std::int64_t>(0, flags.get_int("trace-period",
+                                                              0))));
   int rc = 2;
   if (sub == "put") {
     rc = cmd_put(cluster, flags.get("key", "motd"),

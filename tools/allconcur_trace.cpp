@@ -1,0 +1,193 @@
+// allconcur_trace — merges per-node causal-trace dumps into the round's
+// propagation DAG and reports what the tracer measured.
+//
+// Sources (either or both):
+//   --port=<admin base> --nodes=<n> [--timeout-ms=<ms>]
+//       fetches /trace from each node's admin endpoint (port + id), the
+//       same convention as allconcur_inspect;
+//   --in=<a.jsonl,b.jsonl,...>
+//       reads dump_json() files saved earlier (e.g. by a failing CI run).
+//
+// Output:
+//   * one line per traced (round, origin) broadcast: depth D-hat, nodes
+//     reached, measured dissemination time, the frame's cumulative wire
+//     estimate, and whether the round fell back to the reliable overlay;
+//   * the per-hop latency breakdown (process / queue / serialize / wire)
+//     averaged over every matched span pair;
+//   * the critical path of the deepest broadcast;
+//   * with --out=<file>, Chrome trace-event JSON — open it in
+//     chrome://tracing or https://ui.perfetto.dev.
+//
+//   $ allconcur_trace --port=41000 --nodes=8 --out=trace.json
+//   $ allconcur_trace --in=flight/node0.jsonl,flight/node1.jsonl
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/flags.hpp"
+#include "obs/inspect.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t at = 0;
+  while (at <= s.size()) {
+    const std::size_t comma = s.find(',', at);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > at) out.push_back(s.substr(at, end - at));
+    if (comma == std::string::npos) break;
+    at = comma + 1;
+  }
+  return out;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  char buf[1 << 16];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+    if (n == 0) break;
+    out.append(buf, n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace allconcur;
+  const Flags flags(argc, argv);
+  if (flags.has("help")) {
+    std::printf(
+        "usage: allconcur_trace [--port=<admin base> --nodes=<n> "
+        "[--node-base=<id>] [--timeout-ms=<ms>]] [--in=<a.jsonl,...>] "
+        "[--out=<chrome_trace.json>]\n"
+        "merges per-node /trace dumps into the propagation DAG: depth "
+        "D-hat, per-hop breakdown, critical path, Chrome trace JSON\n");
+    return 0;
+  }
+
+  obs::TraceMerge merge;
+  std::size_t sources = 0;
+
+  const auto base = flags.get_int("port", 0);
+  const auto nodes = flags.get_int("nodes", 0);
+  if ((base > 0) != (nodes > 0)) {
+    std::fprintf(stderr,
+                 "allconcur_trace: --port and --nodes go together\n");
+    return 2;
+  }
+  if (base > 0) {
+    const auto timeout_ms = flags.get_int("timeout-ms", 2000);
+    const auto node_base = flags.get_int("node-base", 0);
+    for (std::int64_t id = node_base; id < node_base + nodes; ++id) {
+      const std::int64_t port = base + id;
+      if (port <= 0 || port > 65535) {
+        std::fprintf(stderr, "allconcur_trace: node %lld is out of port "
+                             "range\n", static_cast<long long>(id));
+        return 2;
+      }
+      obs::FetchStatus st = obs::FetchStatus::kOk;
+      const auto body =
+          obs::admin_fetch(static_cast<std::uint16_t>(port), "/trace",
+                           static_cast<int>(timeout_ms), &st);
+      if (!body) {
+        std::fprintf(stderr,
+                     "allconcur_trace: node %lld (port %lld): %s\n",
+                     static_cast<long long>(id), static_cast<long long>(port),
+                     st == obs::FetchStatus::kTimeout ? "timed out"
+                                                      : "fetch failed");
+        return st == obs::FetchStatus::kTimeout ? 3 : 1;
+      }
+      merge.add_dump(*body);
+      ++sources;
+    }
+  }
+  for (const std::string& path : split_csv(flags.get("in", ""))) {
+    std::string blob;
+    if (!read_file(path, blob)) {
+      std::fprintf(stderr, "allconcur_trace: cannot read %s\n", path.c_str());
+      return 1;
+    }
+    merge.add_dump(blob);
+    ++sources;
+  }
+  if (sources == 0) {
+    std::fprintf(stderr, "allconcur_trace: no sources — pass --port/--nodes "
+                         "or --in (see --help)\n");
+    return 2;
+  }
+
+  const auto broadcasts = merge.broadcasts();
+  std::printf("spans merged: %zu from %zu source(s); traced broadcasts: "
+              "%zu\n", merge.spans().size(), sources, broadcasts.size());
+  if (broadcasts.empty()) {
+    std::printf("no sampled broadcasts in the dumps (is "
+                "trace_sample_period set?)\n");
+    return 0;
+  }
+
+  std::printf("\n%8s %8s %7s %8s %12s %12s %9s\n", "round", "origin",
+              "D-hat", "reached", "span [us]", "est [us]", "fellback");
+  const obs::BroadcastTrace* deepest = nullptr;
+  for (const auto& b : broadcasts) {
+    const double span_us =
+        b.origin_t > 0 && b.completed_t >= b.origin_t
+            ? static_cast<double>(b.completed_t - b.origin_t) / 1e3
+            : 0.0;
+    std::printf("%8llu %8u %7zu %8zu %12.1f %12.1f %9s\n",
+                static_cast<unsigned long long>(b.round), b.origin, b.depth,
+                b.reached, span_us, static_cast<double>(b.max_est_ns) / 1e3,
+                b.fell_back ? "yes" : "no");
+    if (deepest == nullptr || b.depth > deepest->depth) deepest = &b;
+  }
+  std::printf("\nempirical depth D-hat = %zu (max over %zu broadcasts)\n",
+              merge.empirical_depth(), broadcasts.size());
+
+  const obs::TraceBreakdown bd = merge.breakdown();
+  if (bd.hops > 0) {
+    const double h = static_cast<double>(bd.hops);
+    std::printf("\nper-hop breakdown over %llu matched wire edges [us]:\n"
+                "  process %10.2f   (recv -> relay decision)\n"
+                "  queue   %10.2f   (relay -> enqueued on the conn)\n"
+                "  serial  %10.2f   (enqueued -> handed to the wire)\n"
+                "  wire    %10.2f   (sender send -> receiver recv)\n",
+                static_cast<unsigned long long>(bd.hops),
+                bd.process_ns / h / 1e3, bd.queue_ns / h / 1e3,
+                bd.serialize_ns / h / 1e3, bd.wire_ns / h / 1e3);
+  }
+
+  if (deepest != nullptr && !deepest->critical_path.empty()) {
+    std::printf("\ncritical path (round %llu, origin %u, depth %zu):\n",
+                static_cast<unsigned long long>(deepest->round),
+                deepest->origin, deepest->depth);
+    for (const auto& step : deepest->critical_path) {
+      if (step.dist == 0) {
+        std::printf("  node %u (origin)\n", step.node);
+      } else {
+        std::printf("  node %u <- node %u  dist %zu  t=%.1f us\n", step.node,
+                    step.from, step.dist, static_cast<double>(step.t) / 1e3);
+      }
+    }
+  }
+
+  const std::string out_path = flags.get("out", "");
+  if (!out_path.empty()) {
+    std::FILE* f = std::fopen(out_path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "allconcur_trace: cannot write %s\n",
+                   out_path.c_str());
+      return 1;
+    }
+    const std::string json = merge.chrome_trace_json();
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("\nwrote %s (open in chrome://tracing or ui.perfetto.dev)\n",
+                out_path.c_str());
+  }
+  return 0;
+}
